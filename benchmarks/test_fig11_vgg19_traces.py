@@ -1,0 +1,39 @@
+"""Figure 11: VGG19-ImageNet traces at ratio 0.001.
+
+(a) smoothed compression ratio — SIDCo variants estimate the threshold
+accurately while GaussianKSGD collapses and RedSync fluctuates;
+(b) training loss over wall time — SIDCo is never behind Top-k.
+"""
+
+import pytest
+
+from repro.harness import extract_traces, format_series
+
+from conftest import cached_comparison
+
+COMPRESSORS = ("topk", "redsync", "gaussiank", "sidco-e")
+RATIO = 0.001
+
+
+def test_fig11_vgg19_traces(benchmark):
+    comparison = benchmark.pedantic(
+        lambda: cached_comparison("vgg19-imagenet", COMPRESSORS, (RATIO,), iterations=40),
+        rounds=1,
+        iterations=1,
+    )
+    traces = {name: extract_traces(comparison.runs[(name, RATIO)], window=8) for name in COMPRESSORS}
+    for name, trace in traces.items():
+        xs = trace.iterations[: len(trace.running_ratio)]
+        print("\n" + format_series(f"vgg19 ratio[{name}]", xs, trace.running_ratio))
+
+    # SIDCo's achieved ratio settles near the target.
+    assert 0.3 * RATIO < traces["sidco-e"].running_ratio[-1] < 3.0 * RATIO
+
+    # SIDCo's simulated run time is below Top-k's (same iterations, cheaper compression).
+    sidco_time = comparison.runs[("sidco-e", RATIO)].metrics.total_time
+    topk_time = comparison.runs[("topk", RATIO)].metrics.total_time
+    assert sidco_time < topk_time
+
+    # Loss still decreases under compression.
+    losses = traces["sidco-e"].losses
+    assert losses[-10:].mean() <= losses[:10].mean()

@@ -1,0 +1,35 @@
+"""Figure 12: training throughput when the CPU is the compression device.
+
+With compression running on the CPU, DGC's random sampling makes it the
+slowest compressor while SIDCo keeps the highest throughput — the device
+asymmetry of Figure 1 carried into end-to-end training.
+"""
+
+import pytest
+
+from repro.harness import format_speedup_summary
+from repro.perfmodel import CPU_XEON
+
+from conftest import cached_comparison
+
+COMPRESSORS = ("topk", "dgc", "sidco-e")
+RATIO = 0.001
+
+
+def test_fig12_cpu_compression_device(benchmark):
+    comparison = benchmark.pedantic(
+        lambda: cached_comparison("lstm-ptb", COMPRESSORS, (RATIO,), iterations=40, device=CPU_XEON),
+        rounds=1,
+        iterations=1,
+    )
+    print("\nFigure 12 — CPU as the compression device (lstm-ptb, ratio 0.001)")
+    print(format_speedup_summary(comparison.rows))
+    rows = {r.compressor: r for r in comparison.rows}
+
+    # SIDCo has the highest training throughput on the CPU device.
+    assert rows["sidco-e"].throughput_vs_baseline >= rows["topk"].throughput_vs_baseline
+    assert rows["sidco-e"].throughput_vs_baseline > rows["dgc"].throughput_vs_baseline
+
+    # DGC is the most penalised by the CPU device (its random sampling is the
+    # expensive primitive there) — it falls behind Top-k.
+    assert rows["dgc"].throughput_vs_baseline < rows["topk"].throughput_vs_baseline * 1.1

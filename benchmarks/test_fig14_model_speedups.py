@@ -1,0 +1,44 @@
+"""Figure 14: compression speed-up over Top-k for real model sizes (GPU and CPU).
+
+Covers ResNet20, VGG16, ResNet50 and the PTB LSTM dimensions from Table 1.
+"""
+
+import pytest
+
+from repro.harness import format_table, run_model_microbenchmarks, speedup_matrix
+
+MODELS = ("resnet20", "vgg16", "resnet50", "lstm-ptb")
+RATIOS = (0.1, 0.01, 0.001)
+
+
+@pytest.fixture(scope="module")
+def results():
+    return run_model_microbenchmarks(models=MODELS, ratios=RATIOS, sample_size=300_000, warmup_calls=10, seed=0)
+
+
+def test_fig14_model_speedups(benchmark, results):
+    benchmark.pedantic(
+        lambda: run_model_microbenchmarks(models=("resnet20",), ratios=(0.01,), sample_size=100_000, warmup_calls=4),
+        rounds=1,
+        iterations=1,
+    )
+    for model, rows in results.items():
+        print(f"\nFigure 14 — {model}")
+        print(format_table(rows))
+
+    for model in MODELS:
+        gpu = speedup_matrix(results[model], "gpu-v100")
+        cpu = speedup_matrix(results[model], "cpu-xeon")
+        for ratio in RATIOS:
+            # GPU: threshold estimation (SIDCo) always beats Top-k and DGC.
+            assert gpu[("sidco-e", ratio)] > 1.0
+            assert gpu[("sidco-e", ratio)] >= gpu[("dgc", ratio)]
+            # CPU: DGC is below Top-k, SIDCo above.
+            assert cpu[("dgc", ratio)] < 1.0
+            assert cpu[("sidco-e", ratio)] > 1.0
+
+    # Larger models widen SIDCo's GPU advantage over Top-k (launch overheads
+    # amortise away and the Top-k selection dominates).
+    small_gain = speedup_matrix(results["resnet20"], "gpu-v100")[("sidco-e", 0.001)]
+    large_gain = speedup_matrix(results["vgg16"], "gpu-v100")[("sidco-e", 0.001)]
+    assert large_gain > small_gain

@@ -1,0 +1,42 @@
+"""Figure 15: absolute compression latency for real model sizes (GPU and CPU)."""
+
+import pytest
+
+from repro.gradients import MODEL_DIMENSIONS
+from repro.harness import format_table, run_model_microbenchmarks
+
+MODELS = ("resnet20", "vgg16", "resnet50", "lstm-ptb")
+
+
+@pytest.fixture(scope="module")
+def results():
+    return run_model_microbenchmarks(models=MODELS, ratios=(0.001,), sample_size=300_000, warmup_calls=10, seed=0)
+
+
+def _latency(rows, compressor, device):
+    return next(r.latency_seconds for r in rows if r.compressor == compressor and r.device == device)
+
+
+def test_fig15_model_latency(benchmark, results):
+    benchmark.pedantic(
+        lambda: run_model_microbenchmarks(models=("vgg16",), ratios=(0.001,), sample_size=100_000, warmup_calls=4),
+        rounds=1,
+        iterations=1,
+    )
+    for model, rows in results.items():
+        print(f"\nFigure 15 — {model} (latency seconds)")
+        print(format_table(rows, columns=["compressor", "device", "ratio", "latency_seconds"]))
+
+    # Latency grows with model size for every compressor/device.
+    ordered = sorted(MODELS, key=lambda m: MODEL_DIMENSIONS[m])
+    for device in ("gpu-v100", "cpu-xeon"):
+        for compressor in ("topk", "sidco-e"):
+            latencies = [_latency(results[m], compressor, device) for m in ordered]
+            assert all(b > a for a, b in zip(latencies, latencies[1:]))
+
+    # CPU compression is slower than GPU compression for the same scheme, and
+    # Top-k on the GPU for the LSTM-sized vector costs hundreds of milliseconds
+    # (the order of magnitude in the paper's Figure 15d).
+    assert _latency(results["lstm-ptb"], "topk", "gpu-v100") > 0.05
+    for model in MODELS:
+        assert _latency(results[model], "sidco-e", "cpu-xeon") > _latency(results[model], "sidco-e", "gpu-v100")

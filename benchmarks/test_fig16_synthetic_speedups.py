@@ -1,0 +1,38 @@
+"""Figure 16: compression speed-up over Top-k for synthetic tensors (0.26M - 260M elements)."""
+
+import pytest
+
+from repro.harness import format_table, run_synthetic_size_sweep, speedup_matrix
+
+SIZES = (260_000, 2_600_000, 26_000_000, 260_000_000)
+RATIOS = (0.01, 0.001)
+
+
+@pytest.fixture(scope="module")
+def results():
+    return run_synthetic_size_sweep(sizes=SIZES, ratios=RATIOS, sample_size=300_000, warmup_calls=10, seed=0)
+
+
+def test_fig16_synthetic_speedups(benchmark, results):
+    benchmark.pedantic(
+        lambda: run_synthetic_size_sweep(sizes=(260_000,), ratios=(0.01,), sample_size=100_000, warmup_calls=4),
+        rounds=1,
+        iterations=1,
+    )
+    for size, rows in results.items():
+        print(f"\nFigure 16 — {size/1e6:.2f}M-element tensor")
+        print(format_table(rows, columns=["compressor", "device", "ratio", "speedup_over_topk"]))
+
+    for size in SIZES:
+        gpu = speedup_matrix(results[size], "gpu-v100")
+        cpu = speedup_matrix(results[size], "cpu-xeon")
+        for ratio in RATIOS:
+            assert gpu[("sidco-e", ratio)] > 1.0
+            assert cpu[("sidco-e", ratio)] > 1.0
+            assert cpu[("dgc", ratio)] < 1.0
+
+    # The GPU advantage of threshold estimation grows with tensor size and
+    # saturates for huge tensors (Figure 16 shows similar bars from 2.6M up).
+    gains = [speedup_matrix(results[s], "gpu-v100")[("sidco-e", 0.001)] for s in SIZES]
+    assert gains[1] > gains[0]
+    assert gains[-1] == pytest.approx(gains[-2], rel=0.25)

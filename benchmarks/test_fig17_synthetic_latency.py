@@ -1,0 +1,41 @@
+"""Figure 17: absolute compression latency for synthetic tensors (0.26M - 260M elements)."""
+
+import pytest
+
+from repro.harness import format_table, run_synthetic_size_sweep
+
+SIZES = (260_000, 2_600_000, 26_000_000, 260_000_000)
+
+
+@pytest.fixture(scope="module")
+def results():
+    return run_synthetic_size_sweep(sizes=SIZES, ratios=(0.001,), sample_size=300_000, warmup_calls=10, seed=0)
+
+
+def _latency(rows, compressor, device):
+    return next(r.latency_seconds for r in rows if r.compressor == compressor and r.device == device)
+
+
+def test_fig17_synthetic_latency(benchmark, results):
+    benchmark.pedantic(
+        lambda: run_synthetic_size_sweep(sizes=(260_000,), ratios=(0.001,), sample_size=100_000, warmup_calls=4),
+        rounds=1,
+        iterations=1,
+    )
+    for size, rows in results.items():
+        print(f"\nFigure 17 — {size/1e6:.2f}M-element tensor (latency seconds)")
+        print(format_table(rows, columns=["compressor", "device", "latency_seconds"]))
+
+    # Latency scales roughly linearly (about 10x per decade) for every scheme;
+    # the smallest tensors are partially launch-overhead bound, so the lower
+    # bound is loose there.
+    for device in ("gpu-v100", "cpu-xeon"):
+        for compressor in ("topk", "dgc", "sidco-e"):
+            latencies = [_latency(results[s], compressor, device) for s in SIZES]
+            for smaller, larger in zip(latencies, latencies[1:]):
+                assert 3.0 < larger / smaller < 20.0
+
+    # At the largest size, CPU Top-k costs seconds while GPU SIDCo costs
+    # milliseconds — the gap the paper's Figure 17 spans.
+    assert _latency(results[260_000_000], "topk", "cpu-xeon") > 1.0
+    assert _latency(results[260_000_000], "sidco-e", "gpu-v100") < 0.2

@@ -1,0 +1,39 @@
+"""Figure 18: all SIDCo variants (SIDCo-E, SIDCo-GP, SIDCo-P) across benchmarks.
+
+Appendix F shows that the three SID choices perform similarly: all of them
+track the target ratio and none is slower than Top-k or DGC.
+"""
+
+import pytest
+
+from repro.harness import format_speedup_summary
+
+from conftest import cached_comparison
+
+COMPRESSORS = ("topk", "dgc", "sidco-e", "sidco-gp", "sidco-p")
+RATIO = 0.001
+
+
+@pytest.mark.parametrize("benchmark_name", ["lstm-ptb", "vgg16-cifar10"])
+def test_fig18_all_sid_variants(benchmark, benchmark_name):
+    comparison = benchmark.pedantic(
+        lambda: cached_comparison(benchmark_name, COMPRESSORS, (RATIO,), iterations=50),
+        rounds=1,
+        iterations=1,
+    )
+    print(f"\nFigure 18 — {benchmark_name} with all SIDCo variants (ratio {RATIO})")
+    print(format_speedup_summary(comparison.rows))
+    rows = {r.compressor: r for r in comparison.rows}
+
+    variant_throughputs = [rows[v].throughput_vs_baseline for v in ("sidco-e", "sidco-gp", "sidco-p")]
+
+    # All three variants beat exact Top-k on throughput.
+    for throughput in variant_throughputs:
+        assert throughput > rows["topk"].throughput_vs_baseline
+
+    # The variants are close to each other (the paper: "quite similar").
+    assert max(variant_throughputs) / min(variant_throughputs) < 1.5
+
+    # And all of them keep the achieved ratio in a sane band around the target.
+    for variant in ("sidco-e", "sidco-gp", "sidco-p"):
+        assert 0.2 < rows[variant].estimation_quality < 5.0

@@ -1,0 +1,54 @@
+"""Figure 1: compression micro-benchmark on a VGG16-sized gradient.
+
+(a) speed-up over Top-k on GPU, (b) speed-up over Top-k on CPU, (c) threshold
+estimation quality (k_hat / k), for ratios {0.1, 0.01, 0.001}.
+"""
+
+import pytest
+
+from repro.gradients import MODEL_DIMENSIONS
+from repro.harness import format_table, quality_matrix, run_microbenchmark, speedup_matrix
+
+RATIOS = (0.1, 0.01, 0.001)
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return run_microbenchmark(
+        MODEL_DIMENSIONS["vgg16"], ratios=RATIOS, sample_size=400_000, warmup_calls=12, seed=0
+    )
+
+
+def test_fig1_microbenchmark(benchmark, rows):
+    def run_one_ratio():
+        return run_microbenchmark(
+            MODEL_DIMENSIONS["vgg16"], ratios=(0.001,), sample_size=200_000, warmup_calls=6, seed=1
+        )
+
+    benchmark.pedantic(run_one_ratio, rounds=1, iterations=1)
+    print("\n" + format_table(rows, title="Figure 1 — VGG16-sized gradient micro-benchmark"))
+
+    gpu = speedup_matrix(rows, "gpu-v100")
+    cpu = speedup_matrix(rows, "cpu-xeon")
+    quality = quality_matrix(rows)
+
+    # Figure 1a: on GPU every scheme beats Top-k; SIDCo-E is the fastest.
+    for ratio in RATIOS:
+        for name in ("dgc", "redsync", "gaussiank", "sidco-e"):
+            assert gpu[(name, ratio)] > 1.0
+        assert gpu[("sidco-e", ratio)] >= max(gpu[(n, ratio)] for n in ("dgc", "redsync", "gaussiank"))
+        assert gpu[("sidco-e", ratio)] > 20.0
+
+    # Figure 1b: on CPU DGC drops below Top-k while threshold estimators stay above.
+    for ratio in RATIOS:
+        assert cpu[("dgc", ratio)] < 1.0
+        assert cpu[("sidco-e", ratio)] > 1.0
+
+    # Figure 1c: SIDCo estimates the target ratio accurately; the Gaussian
+    # heuristics drift far from it at aggressive ratios.
+    assert 0.6 < quality[("sidco-e", 0.001)] < 1.5
+    heuristic_error = max(
+        abs(quality[("redsync", 0.001)] - 1.0), abs(quality[("gaussiank", 0.001)] - 1.0)
+    )
+    sidco_error = abs(quality[("sidco-e", 0.001)] - 1.0)
+    assert heuristic_error > sidco_error

@@ -1,0 +1,47 @@
+"""Figure 4: training-loss and threshold-estimation traces at ratio 0.001 (PTB, AN4).
+
+The paper shows (a/c) training loss vs iteration and (b/d) the per-iteration
+normalised compression ratio, highlighting that SIDCo and DGC stay on target
+while RedSync fluctuates and GaussianKSGD collapses toward zero.
+"""
+
+import numpy as np
+import pytest
+
+from repro.harness import extract_traces, format_series
+
+from conftest import cached_comparison
+
+COMPRESSORS = ("topk", "dgc", "redsync", "gaussiank", "sidco-e")
+RATIO = 0.001
+
+
+@pytest.mark.parametrize("benchmark_name", ["lstm-ptb", "lstm-an4"])
+def test_fig4_traces(benchmark, benchmark_name):
+    comparison = benchmark.pedantic(
+        lambda: cached_comparison(benchmark_name, COMPRESSORS, (RATIO,), iterations=50),
+        rounds=1,
+        iterations=1,
+    )
+
+    traces = {name: extract_traces(comparison.runs[(name, RATIO)], window=10) for name in COMPRESSORS}
+    for name, trace in traces.items():
+        print("\n" + format_series(f"{benchmark_name} loss[{name}]", trace.iterations, trace.losses))
+        print(format_series(f"{benchmark_name} ratio[{name}]", trace.iterations[: len(trace.running_ratio)], trace.running_ratio))
+
+    # Loss decreases over training for the well-behaved compressors.
+    for name in ("topk", "dgc", "sidco-e"):
+        losses = traces[name].losses
+        assert losses[-10:].mean() < losses[:10].mean()
+
+    # SIDCo's running-average ratio converges to the target after the stage
+    # controller settles; the ratio trace stays positive and bounded.
+    sidco_ratio = traces["sidco-e"].running_ratio
+    assert 0.3 * RATIO < sidco_ratio[-1] < 3.0 * RATIO
+
+    # RedSync / GaussianKSGD traces deviate further from the target than SIDCo's.
+    sidco_err = abs(sidco_ratio[-1] / RATIO - 1.0)
+    for name in ("redsync", "gaussiank"):
+        heuristic_ratio = traces[name].running_ratio
+        heuristic_err = abs(heuristic_ratio[-1] / RATIO - 1.0)
+        assert heuristic_err > sidco_err or np.isclose(heuristic_err, sidco_err, atol=0.5)

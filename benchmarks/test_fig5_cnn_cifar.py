@@ -1,0 +1,50 @@
+"""Figure 5: CNN training on CIFAR-10 proxies — ResNet20 and VGG16.
+
+(a) ResNet20 speed-ups are modest (the model is not communication bound),
+(b) estimation quality, (c) VGG16 speed-ups are substantial (60% comm overhead).
+"""
+
+import pytest
+
+from repro.harness import format_speedup_summary
+
+from conftest import cached_comparison
+
+COMPRESSORS = ("topk", "dgc", "redsync", "gaussiank", "sidco-e")
+RATIO = 0.01
+
+
+def test_fig5a_resnet20_modest_gains(benchmark):
+    comparison = benchmark.pedantic(
+        lambda: cached_comparison("resnet20-cifar10", COMPRESSORS, (RATIO,), iterations=40),
+        rounds=1,
+        iterations=1,
+    )
+    print("\nFigure 5a/b — ResNet20-CIFAR10 (comm overhead 10%)")
+    print(format_speedup_summary(comparison.rows))
+    rows = {r.compressor: r for r in comparison.rows}
+
+    # ResNet20 is compute-bound: no compressor achieves a large speed-up, and
+    # none collapses either (Figure 5a's bars hover around 1x).
+    for name in COMPRESSORS:
+        assert 0.3 < rows[name].throughput_vs_baseline < 2.5
+
+    # Figure 5b: SIDCo's estimation quality tracks the target.
+    assert 0.4 < rows["sidco-e"].estimation_quality < 2.5
+
+
+def test_fig5c_vgg16_substantial_gains(benchmark):
+    comparison = benchmark.pedantic(
+        lambda: cached_comparison("vgg16-cifar10", COMPRESSORS, (RATIO,), iterations=40),
+        rounds=1,
+        iterations=1,
+    )
+    print("\nFigure 5c — VGG16-CIFAR10 (comm overhead 60%)")
+    print(format_speedup_summary(comparison.rows))
+    rows = {r.compressor: r for r in comparison.rows}
+
+    # VGG16 is communication bound: compression clearly beats the baseline
+    # and SIDCo is at least on par with DGC and ahead of Top-k.
+    assert rows["sidco-e"].throughput_vs_baseline > 1.3
+    assert rows["sidco-e"].throughput_vs_baseline > rows["topk"].throughput_vs_baseline
+    assert rows["sidco-e"].throughput_vs_baseline >= rows["dgc"].throughput_vs_baseline * 0.9

@@ -1,0 +1,46 @@
+"""Figure 6: ImageNet-scale training — ResNet50 and VGG19 proxies.
+
+The paper trains under a 5-hour wall-clock budget and compares top-1 accuracy,
+throughput and estimation quality.  The simulated equivalent compares the
+quality reached per unit of simulated time (the speed-up metric), throughput
+and estimation quality on the ImageNet-scale proxy benchmarks.
+"""
+
+import pytest
+
+from repro.harness import format_speedup_summary
+
+from conftest import cached_comparison
+
+COMPRESSORS = ("topk", "dgc", "redsync", "gaussiank", "sidco-e")
+
+
+@pytest.mark.parametrize(
+    "benchmark_name,ratio",
+    [("resnet50-imagenet", 0.01), ("vgg19-imagenet", 0.001)],
+)
+def test_fig6_imagenet_proxies(benchmark, benchmark_name, ratio):
+    comparison = benchmark.pedantic(
+        lambda: cached_comparison(benchmark_name, COMPRESSORS, (ratio,), iterations=40),
+        rounds=1,
+        iterations=1,
+    )
+    print(f"\nFigure 6 — {benchmark_name} at ratio {ratio}")
+    print(format_speedup_summary(comparison.rows))
+    rows = {r.compressor: r for r in comparison.rows}
+
+    # Both ImageNet models are communication bound (72% / 83% overhead):
+    # compression buys substantial throughput, and exact Top-k trails the
+    # threshold-estimation methods because of its compression overhead.
+    assert rows["sidco-e"].throughput_vs_baseline > 1.5
+    assert rows["sidco-e"].throughput_vs_baseline > rows["topk"].throughput_vs_baseline
+
+    # Accuracy-per-time (the paper's accuracy-within-budget comparison): the
+    # compressed run still makes quality progress per unit time.  At quick
+    # bench scale the absolute accuracy after a few dozen iterations is noisy,
+    # so only a loose lower bound is asserted here; EXPERIMENTS.md records the
+    # longer-run numbers.
+    assert rows["sidco-e"].speedup_vs_baseline > 0.3
+
+    # Estimation quality stays in a sane band for SIDCo.
+    assert 0.3 < rows["sidco-e"].estimation_quality < 3.0

@@ -1,0 +1,55 @@
+"""Figure 7: gradient compressibility validation.
+
+(a) sorted gradient magnitudes follow a power-law decay with exponent > 0.5,
+(b) the best-k sparsification error sigma_k decays quickly in k — at the
+beginning, middle and end of (proxy) training.
+"""
+
+import numpy as np
+import pytest
+
+from repro.harness import compressibility_study, format_table
+
+
+@pytest.fixture(scope="module")
+def study():
+    return compressibility_study(
+        "resnet20-cifar10", capture_iterations=(2, 15, 30), num_ks=40, num_workers=4, seed=0
+    )
+
+
+def test_fig7_compressibility(benchmark, study):
+    def diagnose_one_gradient():
+        from repro.gradients import realistic_gradient
+        from repro.stats import fit_power_law_decay, sparsification_error_curve
+
+        gradient = realistic_gradient(100_000, seed=0)
+        report = fit_power_law_decay(gradient)
+        curve = sparsification_error_curve(gradient, study.ks[:10])
+        return report, curve
+
+    benchmark(diagnose_one_gradient)
+
+    rows = [
+        {
+            "iteration": it,
+            "decay_exponent_p": study.reports[it].decay_exponent,
+            "r_squared": study.reports[it].r_squared,
+            "compressible": study.reports[it].is_compressible,
+        }
+        for it in study.iterations
+    ]
+    print("\n" + format_table(rows, title="Figure 7a — power-law decay of sorted gradients"))
+
+    # Figure 7a: the decay exponent exceeds the 0.5 compressibility threshold.
+    for it in study.iterations:
+        assert study.reports[it].decay_exponent > 0.5
+
+    # Figure 7b: sigma_k decreases monotonically and hits zero at k = d.
+    for it in study.iterations:
+        curve = study.error_curves[it]
+        assert np.all(np.diff(curve) <= 1e-9)
+        assert curve[-1] == pytest.approx(0.0, abs=1e-9)
+        # Keeping 10% of elements removes a large share of the energy.
+        ten_percent_idx = np.searchsorted(study.ks, 0.1 * study.ks[-1])
+        assert curve[ten_percent_idx] < 0.7 * curve[0]

@@ -1,0 +1,42 @@
+"""Figure 9: running-average compression-ratio traces across benchmarks and ratios.
+
+The paper plots the smoothed achieved compression ratio over training for
+every benchmark and target ratio, showing that SIDCo (and DGC) hug the target
+while RedSync/GaussianKSGD oscillate or collapse.  This bench regenerates the
+traces for two representative benchmarks at two ratios.
+"""
+
+import numpy as np
+import pytest
+
+from repro.harness import extract_traces, format_series
+
+from conftest import cached_comparison
+
+COMPRESSORS = ("dgc", "redsync", "gaussiank", "sidco-e")
+
+
+@pytest.mark.parametrize("benchmark_name", ["lstm-ptb", "vgg16-cifar10"])
+@pytest.mark.parametrize("ratio", [0.01, 0.001])
+def test_fig9_running_ratio_traces(benchmark, benchmark_name, ratio):
+    comparison = benchmark.pedantic(
+        lambda: cached_comparison(benchmark_name, COMPRESSORS, (ratio,), iterations=50),
+        rounds=1,
+        iterations=1,
+    )
+    traces = {name: extract_traces(comparison.runs[(name, ratio)], window=10) for name in COMPRESSORS}
+    for name, trace in traces.items():
+        xs = trace.iterations[: len(trace.running_ratio)]
+        print("\n" + format_series(f"{benchmark_name}@{ratio} ratio[{name}]", xs, trace.running_ratio))
+
+    # SIDCo's smoothed trace ends near the target once adaptation settles.
+    sidco_tail = traces["sidco-e"].running_ratio[-1]
+    assert 0.3 * ratio < sidco_tail < 3.0 * ratio
+
+    # DGC also tracks the target (it is Top-k on a sample).
+    dgc_tail = traces["dgc"].running_ratio[-1]
+    assert 0.3 * ratio < dgc_tail < 3.0 * ratio
+
+    # Every trace is positive (no compressor silently sends nothing).
+    for trace in traces.values():
+        assert np.all(trace.running_ratio > 0.0)

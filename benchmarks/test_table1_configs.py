@@ -1,0 +1,19 @@
+"""Table 1: benchmark suite summary.
+
+Regenerates the rows of Table 1 (model dimension, batch size, learning rate,
+epochs, communication overhead, optimizer, quality metric) from the config
+registry and times the registry construction itself.
+"""
+
+from repro.harness import format_table, table1_rows
+
+
+def test_table1_rows(benchmark):
+    rows = benchmark(table1_rows)
+    print("\n" + format_table(rows, title="Table 1 — benchmark suite"))
+    assert len(rows) == 6
+    by_name = {r["benchmark"]: r for r in rows}
+    assert by_name["lstm-ptb"]["parameters"] == 66_034_000
+    assert by_name["lstm-ptb"]["comm_overhead"] == 0.94
+    assert by_name["vgg19-imagenet"]["parameters"] == 143_671_337
+    assert by_name["resnet20-cifar10"]["comm_overhead"] == 0.10

@@ -1,0 +1,63 @@
+"""Distributed CNN training with compression, with and without error feedback.
+
+Trains the VGG16-CIFAR10 proxy benchmark (60% communication overhead) with
+SIDCo at an aggressive ratio, comparing error feedback on/off and showing the
+per-iteration time breakdown (compute / compression / communication) that
+drives the end-to-end speed-ups.
+
+Run with:  python examples/cnn_distributed_training.py
+"""
+
+from __future__ import annotations
+
+from repro.distributed import DistributedTrainer, TrainerConfig
+from repro.harness import format_table, get_benchmark
+
+
+def train(use_error_feedback: bool):
+    config = get_benchmark("vgg16-cifar10")
+    dataset = config.build_proxy_dataset(seed=0)
+    model = config.build_proxy_model(seed=1)
+    trainer_config = TrainerConfig(
+        num_workers=4,
+        batch_size=config.proxy_batch_size,
+        iterations=60,
+        ratio=0.001,
+        lr=config.proxy_lr,
+        use_error_feedback=use_error_feedback,
+        warmup_iterations=5,
+        seed=0,
+        compute_seconds=config.compute_seconds(num_workers=4),
+        dimension_scale=config.dimension_scale(),
+    )
+    trainer = DistributedTrainer(model, dataset, "sidco-e", trainer_config)
+    return trainer.run(evaluate_on=dataset)
+
+
+def main() -> None:
+    print("Training the VGG16-CIFAR10 proxy with SIDCo-E at ratio 0.001 (4 workers)...\n")
+    rows = []
+    for use_ec in (True, False):
+        result = train(use_ec)
+        breakdown = result.metrics.component_breakdown()
+        rows.append(
+            {
+                "error_feedback": "on" if use_ec else "off",
+                "final_loss": result.metrics.final_loss,
+                "train_accuracy": result.final_evaluation["accuracy"],
+                "achieved_ratio": result.metrics.estimation_quality()[0] * 0.001,
+                "sim_time_s": result.metrics.total_time,
+                "compute_s": breakdown["compute"],
+                "compression_s": breakdown["compression"],
+                "communication_s": breakdown["communication"],
+            }
+        )
+    print(format_table(rows, title="SIDCo-E on VGG16-CIFAR10 proxy: error feedback ablation"))
+    print(
+        "\nError feedback recovers the information dropped by aggressive sparsification,"
+        "\nwhich is why the paper enables it for every compressor."
+    )
+
+
+if __name__ == "__main__":
+    main()

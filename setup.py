@@ -1,0 +1,6 @@
+"""Setup shim so `pip install -e . --no-use-pep517` works on hosts without the
+`wheel` package (all metadata lives in pyproject.toml)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,152 @@
+"""Compressor interface shared by SIDCo and every baseline.
+
+A compressor turns a dense gradient vector into a :class:`SparseGradient`
+given a target compression ratio ``delta = k / d``.  Besides the sparse
+result, every call records:
+
+* the threshold it applied (if threshold-based),
+* the achieved ratio ``k_hat / d``,
+* an *operation trace*: the sequence of vectorised primitives (sorts,
+  selections, reductions, samples, element-wise passes) it executed and their
+  input sizes.
+
+The operation trace is what the device performance model
+(:mod:`repro.perfmodel`) consumes to estimate compression latency on GPU-like
+and CPU-like devices, reproducing the micro-benchmarks of Figures 1, 12 and
+14-17 without real accelerator hardware.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..tensor.sparse import SparseGradient
+
+
+@dataclass(frozen=True)
+class OpRecord:
+    """One vectorised primitive executed during compression.
+
+    ``op`` is one of the primitive names understood by
+    :mod:`repro.perfmodel.costs` (``sort``, ``topk_select``, ``random_sample``,
+    ``reduce``, ``elementwise``, ``compact``, ``log_reduce``).  ``size`` is the
+    number of elements the primitive touched and ``k`` the selection size where
+    relevant (e.g. Top-k selection).
+    """
+
+    op: str
+    size: int
+    k: int = 0
+
+
+@dataclass
+class CompressionResult:
+    """Output of a single ``compress`` call."""
+
+    sparse: SparseGradient
+    target_ratio: float
+    threshold: float | None = None
+    ops: list[OpRecord] = field(default_factory=list)
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def achieved_ratio(self) -> float:
+        """The achieved compression ratio ``k_hat / d``."""
+        return self.sparse.density
+
+    @property
+    def achieved_k(self) -> int:
+        return self.sparse.nnz
+
+    @property
+    def estimation_quality(self) -> float:
+        """``k_hat / k`` — the normalised estimation quality of Figures 1c, 3c, 5b, 6c."""
+        expected_k = self.target_ratio * self.sparse.dense_size
+        if expected_k <= 0:
+            return float("nan")
+        return self.sparse.nnz / expected_k
+
+
+class Compressor(abc.ABC):
+    """Abstract gradient compressor.
+
+    Compressors may keep internal state that evolves across training
+    iterations (e.g. SIDCo's stage controller); ``reset`` clears it so one
+    instance can be reused across independent runs.
+    """
+
+    #: short identifier used by the registry, figures, and reports
+    name: str = "base"
+
+    @abc.abstractmethod
+    def compress(self, gradient: np.ndarray, ratio: float) -> CompressionResult:
+        """Compress ``gradient`` targeting ``ratio = k/d`` kept elements."""
+
+    def reset(self) -> None:
+        """Clear any cross-iteration state (no-op by default)."""
+
+    # -- shared helpers ----------------------------------------------------
+
+    @staticmethod
+    def _validate(gradient: np.ndarray, ratio: float) -> np.ndarray:
+        arr = np.asarray(gradient, dtype=np.float64).ravel()
+        if arr.size == 0:
+            raise ValueError("cannot compress an empty gradient")
+        if not 0.0 < ratio <= 1.0:
+            raise ValueError(f"ratio must be in (0, 1], got {ratio}")
+        return arr
+
+    @staticmethod
+    def _target_k(size: int, ratio: float) -> int:
+        """Number of elements to keep: ``max(1, round(ratio * d))``."""
+        return max(1, int(round(ratio * size)))
+
+    @staticmethod
+    def _result_from_threshold(
+        gradient: np.ndarray,
+        threshold: float,
+        ratio: float,
+        ops: list[OpRecord],
+        metadata: dict | None = None,
+    ) -> CompressionResult:
+        """Select all elements with ``|g| >= threshold`` and package the result."""
+        mask = np.abs(gradient) >= threshold
+        ops.append(OpRecord("elementwise", gradient.size))
+        ops.append(OpRecord("compact", gradient.size, int(mask.sum())))
+        sparse = SparseGradient.from_mask(gradient, mask)
+        return CompressionResult(
+            sparse=sparse,
+            target_ratio=ratio,
+            threshold=float(threshold),
+            ops=ops,
+            metadata=metadata or {},
+        )
+
+    @staticmethod
+    def _result_from_topk(
+        gradient: np.ndarray,
+        k: int,
+        ratio: float,
+        ops: list[OpRecord],
+        metadata: dict | None = None,
+    ) -> CompressionResult:
+        """Keep exactly the ``k`` largest-magnitude elements."""
+        magnitudes = np.abs(gradient)
+        ops.append(OpRecord("elementwise", gradient.size))
+        if k >= gradient.size:
+            indices = np.arange(gradient.size)
+        else:
+            indices = np.argpartition(magnitudes, gradient.size - k)[gradient.size - k :]
+        ops.append(OpRecord("topk_select", gradient.size, k))
+        sparse = SparseGradient(indices=indices, values=gradient[indices], dense_size=gradient.size)
+        threshold = float(np.abs(gradient[indices]).min()) if indices.size else 0.0
+        return CompressionResult(
+            sparse=sparse,
+            target_ratio=ratio,
+            threshold=threshold,
+            ops=ops,
+            metadata=metadata or {},
+        )

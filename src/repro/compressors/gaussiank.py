@@ -1,0 +1,81 @@
+"""GaussianKSGD threshold estimation (Shi et al., 2019).
+
+GaussianKSGD assumes the gradient is Gaussian, derives an initial threshold
+from the Gaussian quantile for the target ratio, then nudges the threshold up
+or down with a fixed-step heuristic for a few iterations based on the observed
+selection count.  DNN gradients are much more peaked and heavier-tailed than a
+Gaussian (Property 2 of the paper), so the initial quantile lands far from the
+true Top-k threshold and the bounded correction loop cannot recover —
+producing the orders-of-magnitude under-selection the paper reports.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import special as _sp
+
+from .base import Compressor, CompressionResult, OpRecord
+
+
+class GaussianKSGD(Compressor):
+    """Gaussian-quantile initial threshold plus bounded iterative correction.
+
+    Parameters
+    ----------
+    max_adjust_iters:
+        Number of correction iterations applied after the Gaussian guess.
+    tolerance:
+        Relative band around ``k`` considered "close enough" to stop adjusting.
+    step:
+        Multiplicative step used to scale the threshold when the selection is
+        outside the tolerance band.
+    """
+
+    name = "gaussiank"
+
+    def __init__(self, max_adjust_iters: int = 4, tolerance: float = 0.2, step: float = 0.1) -> None:
+        if max_adjust_iters < 0:
+            raise ValueError("max_adjust_iters must be >= 0")
+        if not 0.0 < tolerance < 1.0:
+            raise ValueError("tolerance must be in (0, 1)")
+        if not 0.0 < step < 1.0:
+            raise ValueError("step must be in (0, 1)")
+        self.max_adjust_iters = max_adjust_iters
+        self.tolerance = tolerance
+        self.step = step
+
+    def compress(self, gradient: np.ndarray, ratio: float) -> CompressionResult:
+        arr = self._validate(gradient, ratio)
+        d = arr.size
+        k = self._target_k(d, ratio)
+        ops: list[OpRecord] = []
+
+        mean = float(arr.mean())
+        std = float(arr.std())
+        ops.append(OpRecord("reduce", d))
+        ops.append(OpRecord("reduce", d))
+        if std == 0.0:
+            return self._result_from_threshold(arr, abs(mean), ratio, ops, {"iterations": 0})
+
+        # P(|G - mu| >= eta) = delta under a Gaussian model ->
+        # eta = std * sqrt(2) * erfinv(1 - delta).
+        threshold = float(std * np.sqrt(2.0) * _sp.erfinv(1.0 - ratio))
+
+        mags = np.abs(arr - mean)
+        ops.append(OpRecord("elementwise", d))
+
+        iterations = 0
+        for iterations in range(1, self.max_adjust_iters + 1):
+            selected = int(np.count_nonzero(mags >= threshold))
+            ops.append(OpRecord("elementwise", d))
+            ops.append(OpRecord("reduce", d))
+            if selected > (1.0 + self.tolerance) * k:
+                threshold *= 1.0 + self.step
+            elif selected < (1.0 - self.tolerance) * k:
+                threshold *= 1.0 - self.step
+            else:
+                break
+
+        # Selection is done on |g| (not |g - mean|) as in the published scheme;
+        # gradients are near-zero mean so the two coincide in practice.
+        return self._result_from_threshold(arr, threshold, ratio, ops, {"iterations": iterations})

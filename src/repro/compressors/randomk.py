@@ -1,0 +1,46 @@
+"""Random-k sparsification baseline (Wangni et al., 2018 style)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Compressor, CompressionResult, OpRecord
+from ..tensor.sparse import SparseGradient
+
+
+class RandomK(Compressor):
+    """Keep a uniformly random subset of ``k`` elements, rescaled by ``d/k``.
+
+    The rescaling keeps the sparsified gradient unbiased
+    (``E[C(g)] = g``), which is the standard Random-k estimator.  Selection is
+    magnitude-oblivious, so its approximation error is far worse than Top-k —
+    the reason the paper (like DGC) treats Top-k as the quality reference.
+    """
+
+    name = "randomk"
+
+    def __init__(self, seed: int = 0, rescale: bool = True) -> None:
+        self._seed = seed
+        self._rng = np.random.default_rng(seed)
+        self.rescale = rescale
+
+    def reset(self) -> None:
+        self._rng = np.random.default_rng(self._seed)
+
+    def compress(self, gradient: np.ndarray, ratio: float) -> CompressionResult:
+        arr = self._validate(gradient, ratio)
+        d = arr.size
+        k = self._target_k(d, ratio)
+        indices = self._rng.choice(d, size=k, replace=False)
+        values = arr[indices]
+        if self.rescale:
+            values = values * (d / k)
+        ops = [OpRecord("random_sample", d, k), OpRecord("compact", k, k)]
+        sparse = SparseGradient(indices=indices, values=values, dense_size=d)
+        return CompressionResult(
+            sparse=sparse,
+            target_ratio=ratio,
+            threshold=None,
+            ops=ops,
+            metadata={"rescaled": self.rescale},
+        )

@@ -1,0 +1,59 @@
+"""Hard-threshold compressor with an adaptive scale (Aji & Heafield, 2017 style).
+
+Keeps every element whose magnitude exceeds a fixed threshold.  The threshold
+is adapted multiplicatively across calls so the achieved ratio drifts toward
+the target — a simple linear-time scheme included as an additional baseline
+and as a sanity reference for the threshold-selection code path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Compressor, CompressionResult, OpRecord
+
+
+class AdaptiveHardThreshold(Compressor):
+    """Fixed threshold scaled up/down based on the previously achieved ratio.
+
+    Parameters
+    ----------
+    adjustment_rate:
+        Fraction by which the internal scale moves toward the corrective value
+        after each call (1.0 = jump straight to the corrective value).
+    """
+
+    name = "hard_threshold"
+
+    def __init__(self, adjustment_rate: float = 0.5) -> None:
+        if not 0.0 < adjustment_rate <= 1.0:
+            raise ValueError("adjustment_rate must be in (0, 1]")
+        self.adjustment_rate = adjustment_rate
+        self._scale: float | None = None
+
+    def reset(self) -> None:
+        self._scale = None
+
+    def compress(self, gradient: np.ndarray, ratio: float) -> CompressionResult:
+        arr = self._validate(gradient, ratio)
+        d = arr.size
+        ops: list[OpRecord] = []
+
+        mags = np.abs(arr)
+        ops.append(OpRecord("elementwise", d))
+        mean = float(mags.mean())
+        ops.append(OpRecord("reduce", d))
+
+        if self._scale is None:
+            # Bootstrap from the exponential-model quantile so the first call
+            # is already in the right ballpark.
+            self._scale = float(np.log(1.0 / ratio))
+        threshold = mean * self._scale
+
+        result = self._result_from_threshold(arr, threshold, ratio, ops, {"scale": self._scale})
+
+        # Multiplicative correction for the next call.
+        achieved = max(result.achieved_ratio, 1.0 / d)
+        corrective = self._scale * (np.log(1.0 / ratio) / max(np.log(1.0 / achieved), 1e-12))
+        self._scale = float((1.0 - self.adjustment_rate) * self._scale + self.adjustment_rate * corrective)
+        return result

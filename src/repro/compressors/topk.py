@@ -1,0 +1,45 @@
+"""Exact Top-k sparsification (the reference compressor the paper competes with)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Compressor, CompressionResult, OpRecord
+
+
+class TopK(Compressor):
+    """Keep exactly the ``k = ratio * d`` largest-magnitude gradient elements.
+
+    This is the strongest selection in terms of approximation error (it
+    *defines* the best-k approximation), but also the most expensive: its
+    operation trace contains a full Top-k selection over all ``d`` elements,
+    which is what makes it slow on GPUs (Section 1.2).
+    """
+
+    name = "topk"
+
+    def compress(self, gradient: np.ndarray, ratio: float) -> CompressionResult:
+        arr = self._validate(gradient, ratio)
+        k = self._target_k(arr.size, ratio)
+        return self._result_from_topk(arr, k, ratio, ops=[], metadata={"exact": True})
+
+
+class NoCompression(Compressor):
+    """Identity compressor: ships the dense gradient unchanged (the baseline)."""
+
+    name = "none"
+
+    def compress(self, gradient: np.ndarray, ratio: float = 1.0) -> CompressionResult:
+        arr = np.asarray(gradient, dtype=np.float64).ravel()
+        if arr.size == 0:
+            raise ValueError("cannot compress an empty gradient")
+        from ..tensor.sparse import SparseGradient
+
+        sparse = SparseGradient(indices=np.arange(arr.size), values=arr, dense_size=arr.size)
+        return CompressionResult(
+            sparse=sparse,
+            target_ratio=1.0,
+            threshold=None,
+            ops=[OpRecord("elementwise", 0)],
+            metadata={"dense": True},
+        )

@@ -1,0 +1,73 @@
+"""Convergence-analysis helpers (Section 3.1, Lemma 3 and Appendix C).
+
+These functions express the paper's convergence statements as computable
+quantities: the k-contraction factor of threshold sparsification, the bound on
+the number of iterations after which compressed SGD with error feedback
+matches the plain SGD rate, and the inflation of that bound caused by an
+imperfect threshold (estimation error tolerance ``eps``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def contraction_factor(delta: float) -> float:
+    """Expected contraction ``E||C(g) - g||^2 <= (1 - delta) E||g||^2`` (Eq. 42)."""
+    if not 0.0 < delta <= 1.0:
+        raise ValueError(f"delta must be in (0, 1], got {delta}")
+    return 1.0 - delta
+
+
+def iterations_to_sgd_rate(delta: float, eps: float = 0.0) -> float:
+    """Iterations after which compressed SGD matches the SGD rate (Eq. 13).
+
+    ``O(1 / (delta^2 (1 - eps)^2))`` — the worst case where the achieved ratio
+    under-shoots the target by the tolerance ``eps``.
+    """
+    if not 0.0 < delta <= 1.0:
+        raise ValueError(f"delta must be in (0, 1], got {delta}")
+    if not 0.0 <= eps < 1.0:
+        raise ValueError(f"eps must be in [0, 1), got {eps}")
+    return 1.0 / (delta**2 * (1.0 - eps) ** 2)
+
+
+def extra_iterations_fraction(eps: float) -> float:
+    """Fractional extra iterations vs exact Top-k caused by tolerance ``eps``.
+
+    For ``eps = 0.2`` this is about 0.5625, i.e. "at most about 50% more
+    iterations than Top-k" as stated below Lemma 3.
+    """
+    if not 0.0 <= eps < 1.0:
+        raise ValueError(f"eps must be in [0, 1), got {eps}")
+    return 1.0 / (1.0 - eps) ** 2 - 1.0
+
+
+@dataclass(frozen=True)
+class ConvergenceBound:
+    """Summary of the convergence bound for a compression configuration."""
+
+    delta: float
+    eps: float
+    contraction: float
+    iterations_to_rate: float
+    extra_vs_topk_fraction: float
+
+    @classmethod
+    def for_config(cls, delta: float, eps: float) -> "ConvergenceBound":
+        return cls(
+            delta=delta,
+            eps=eps,
+            contraction=contraction_factor(delta),
+            iterations_to_rate=iterations_to_sgd_rate(delta, eps),
+            extra_vs_topk_fraction=extra_iterations_fraction(eps),
+        )
+
+
+def error_feedback_residual_bound(delta: float, iterations: int, grad_second_moment: float, smoothness: float) -> float:
+    """Second term of the EC-SGD bound (Eq. 43): ``4 L^2 sigma^2 (1 - delta) / (delta^2 (I + 1))``."""
+    if iterations < 0:
+        raise ValueError("iterations must be non-negative")
+    if not 0.0 < delta <= 1.0:
+        raise ValueError(f"delta must be in (0, 1], got {delta}")
+    return 4.0 * smoothness**2 * grad_second_moment * (1.0 - delta) / (delta**2 * (iterations + 1))

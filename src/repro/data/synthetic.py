@@ -1,0 +1,66 @@
+"""Synthetic vector-classification data (Gaussian blobs with class structure)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ArrayDataset:
+    """An in-memory dataset of ``(inputs, targets)`` arrays sharing a leading dimension."""
+
+    inputs: np.ndarray
+    targets: np.ndarray
+
+    def __post_init__(self) -> None:
+        if len(self.inputs) != len(self.targets):
+            raise ValueError("inputs and targets must have the same number of examples")
+        if len(self.inputs) == 0:
+            raise ValueError("dataset cannot be empty")
+
+    def __len__(self) -> int:
+        return len(self.inputs)
+
+    def subset(self, indices: np.ndarray) -> "ArrayDataset":
+        return ArrayDataset(inputs=self.inputs[indices], targets=self.targets[indices])
+
+
+def make_blobs_classification(
+    num_examples: int = 512,
+    num_features: int = 32,
+    num_classes: int = 10,
+    *,
+    class_separation: float = 2.0,
+    noise: float = 1.0,
+    seed: int = 0,
+) -> ArrayDataset:
+    """Gaussian-blob classification: one anchored cluster per class plus noise.
+
+    The separation/noise ratio controls how quickly a small model's loss
+    drops, which lets integration tests assert "training reduces loss" without
+    long runs.
+    """
+    if num_examples < num_classes:
+        raise ValueError("need at least one example per class")
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(0.0, class_separation, size=(num_classes, num_features))
+    targets = rng.integers(0, num_classes, size=num_examples)
+    inputs = centers[targets] + rng.normal(0.0, noise, size=(num_examples, num_features))
+    return ArrayDataset(inputs=inputs, targets=targets)
+
+
+def make_regression(
+    num_examples: int = 512,
+    num_features: int = 16,
+    *,
+    noise: float = 0.1,
+    seed: int = 0,
+) -> ArrayDataset:
+    """Linear regression data ``y = X w + noise`` with a dense ground-truth weight."""
+    rng = np.random.default_rng(seed)
+    weights = rng.normal(0.0, 1.0, size=num_features)
+    inputs = rng.normal(0.0, 1.0, size=(num_examples, num_features))
+    targets = inputs @ weights + rng.normal(0.0, noise, size=num_examples)
+    return ArrayDataset(inputs=inputs, targets=targets[:, None])

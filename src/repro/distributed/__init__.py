@@ -1,0 +1,43 @@
+"""Distributed synchronous SGD simulator with gradient compression."""
+
+from .collectives import CollectiveResult, allgather_sparse, allreduce_dense
+from .metrics import IterationRecord, TrainingMetrics
+from .network import (
+    CLUSTER_ETHERNET_10G,
+    CLUSTER_ETHERNET_25G,
+    NETWORKS,
+    NODE_INFINIBAND_100G,
+    NetworkModel,
+    get_network,
+)
+from .timeline import IterationTiming, TimelineModel, compute_time_for_overhead
+from .trainer import (
+    DistributedTrainer,
+    TrainerConfig,
+    TrainingRunResult,
+    train_baseline_and_compressed,
+)
+from .worker import Worker, WorkerStep
+
+__all__ = [
+    "CLUSTER_ETHERNET_10G",
+    "CLUSTER_ETHERNET_25G",
+    "NETWORKS",
+    "NODE_INFINIBAND_100G",
+    "CollectiveResult",
+    "DistributedTrainer",
+    "IterationRecord",
+    "IterationTiming",
+    "NetworkModel",
+    "TimelineModel",
+    "TrainerConfig",
+    "TrainingMetrics",
+    "TrainingRunResult",
+    "Worker",
+    "WorkerStep",
+    "allgather_sparse",
+    "allreduce_dense",
+    "compute_time_for_overhead",
+    "get_network",
+    "train_baseline_and_compressed",
+]

@@ -1,0 +1,58 @@
+"""Simulated collective operations over dense and sparse gradients.
+
+These functions perform the *semantics* of the collectives (the aggregated
+gradient every worker ends up with) and report the communication volume; the
+time cost is priced separately by :class:`repro.distributed.network.NetworkModel`
+so experiments can swap interconnects without touching the math.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..tensor.sparse import FLOAT_BYTES, SparseGradient, aggregate_sparse
+
+
+@dataclass(frozen=True)
+class CollectiveResult:
+    """Aggregated (averaged) gradient plus the per-worker wire volume."""
+
+    aggregated: np.ndarray
+    payload_bytes_per_worker: float
+    collective: str
+
+
+def allreduce_dense(gradients: list[np.ndarray]) -> CollectiveResult:
+    """Average dense gradients (ring all-reduce semantics)."""
+    if not gradients:
+        raise ValueError("need at least one gradient")
+    stacked = np.stack([np.asarray(g, dtype=np.float64).ravel() for g in gradients])
+    if len({g.size for g in map(np.ravel, gradients)}) != 1:
+        raise ValueError("all gradients must have the same dimension")
+    mean = stacked.mean(axis=0)
+    return CollectiveResult(
+        aggregated=mean,
+        payload_bytes_per_worker=float(mean.size * FLOAT_BYTES),
+        collective="allreduce",
+    )
+
+
+def allgather_sparse(gradients: list[SparseGradient]) -> CollectiveResult:
+    """Average sparse gradients (all-gather of (index, value) payloads).
+
+    Every worker gathers all sparse contributions and averages them locally;
+    the wire volume per worker is the *largest* payload any worker contributed
+    because the ring progresses at the pace of the biggest message.
+    """
+    if not gradients:
+        raise ValueError("need at least one sparse gradient")
+    total = aggregate_sparse(gradients)
+    total /= len(gradients)
+    max_payload = max(g.payload_bytes() for g in gradients)
+    return CollectiveResult(
+        aggregated=total,
+        payload_bytes_per_worker=float(max_payload),
+        collective="allgather",
+    )

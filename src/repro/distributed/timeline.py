@@ -1,0 +1,123 @@
+"""Iteration-time model: compute + compression + communication.
+
+The paper's speed-up and throughput numbers come from wall-clock iteration
+times on real hardware; the simulator reconstructs them from three priced
+components:
+
+* ``compute``   — forward/backward time, a per-benchmark constant derived from
+  Table 1's communication-overhead fraction (the fraction of the baseline
+  iteration spent communicating),
+* ``compression`` — the device cost model applied to the slowest worker's
+  operation trace (workers compress in parallel, the ring waits for the last),
+* ``communication`` — the network model applied to the gradient payload
+  (dense all-reduce for the baseline, sparse all-gather otherwise).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..compressors.base import CompressionResult
+from ..perfmodel.costs import DeviceProfile
+from ..tensor.sparse import FLOAT_BYTES
+from .network import NetworkModel
+
+
+@dataclass(frozen=True)
+class IterationTiming:
+    """Simulated duration of one synchronous training iteration (seconds)."""
+
+    compute: float
+    compression: float
+    communication: float
+    update: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.compute + self.compression + self.communication + self.update
+
+
+@dataclass(frozen=True)
+class TimelineModel:
+    """Prices one iteration of synchronous data-parallel training."""
+
+    network: NetworkModel
+    device: DeviceProfile
+    compute_seconds: float
+    num_workers: int
+    model_dimension: int
+    update_seconds: float = 0.0
+    #: Scale factor mapping the proxy model's gradient dimension to the
+    #: full-size model of Table 1 (wire volume and compression cost both scale
+    #: linearly in the dimension).
+    dimension_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.compute_seconds < 0.0 or self.update_seconds < 0.0:
+            raise ValueError("times must be non-negative")
+        if self.num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        if self.model_dimension < 1:
+            raise ValueError("model_dimension must be >= 1")
+        if self.dimension_scale <= 0.0:
+            raise ValueError("dimension_scale must be positive")
+
+    def baseline_iteration(self) -> IterationTiming:
+        """Iteration timing with no compression (dense all-reduce)."""
+        dense_bytes = self.model_dimension * self.dimension_scale * FLOAT_BYTES
+        comm = self.network.allreduce_time(dense_bytes, self.num_workers)
+        return IterationTiming(
+            compute=self.compute_seconds,
+            compression=0.0,
+            communication=comm,
+            update=self.update_seconds,
+        )
+
+    def compressed_iteration(self, worker_results: list[CompressionResult]) -> IterationTiming:
+        """Iteration timing for a set of per-worker compression results."""
+        if not worker_results:
+            raise ValueError("need at least one worker result")
+        compression = max(self.device.trace_cost(self._scaled_ops(r)) for r in worker_results)
+        payload = max(r.sparse.payload_bytes() for r in worker_results) * self.dimension_scale
+        comm = self.network.allgather_time(payload, self.num_workers)
+        return IterationTiming(
+            compute=self.compute_seconds,
+            compression=compression,
+            communication=comm,
+            update=self.update_seconds,
+        )
+
+    def _scaled_ops(self, result: CompressionResult):
+        if self.dimension_scale == 1.0:
+            return result.ops
+        from ..perfmodel.costs import scale_ops
+
+        return scale_ops(result.ops, self.dimension_scale)
+
+    def communication_overhead_fraction(self) -> float:
+        """Fraction of the baseline iteration spent communicating (Table 1's last column)."""
+        baseline = self.baseline_iteration()
+        if baseline.total == 0.0:
+            return 0.0
+        return baseline.communication / baseline.total
+
+
+def compute_time_for_overhead(
+    network: NetworkModel,
+    num_workers: int,
+    model_dimension: int,
+    comm_overhead_fraction: float,
+) -> float:
+    """Back out the per-iteration compute time implied by a communication-overhead fraction.
+
+    Table 1 reports, for each benchmark, the fraction of iteration time the
+    baseline spends communicating.  Given the network model and model size,
+    this returns the forward/backward compute time that produces that
+    fraction — which is how the simulator matches each proxy benchmark's
+    compute/communication balance to the paper's real one.
+    """
+    if not 0.0 < comm_overhead_fraction < 1.0:
+        raise ValueError("comm_overhead_fraction must be in (0, 1)")
+    dense_bytes = model_dimension * FLOAT_BYTES
+    comm = network.allreduce_time(dense_bytes, num_workers)
+    return comm * (1.0 - comm_overhead_fraction) / comm_overhead_fraction

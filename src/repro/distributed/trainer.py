@@ -1,0 +1,264 @@
+"""Synchronous data-parallel SGD with gradient compression (Algorithm 2).
+
+``DistributedTrainer`` simulates the paper's training stack end-to-end:
+
+1. every worker draws a mini-batch from its shard and computes a local
+   gradient (forward/backward on the shared replica),
+2. the gradient is error-feedback corrected and compressed by the worker's own
+   compressor instance,
+3. sparse contributions are aggregated with all-gather semantics (dense
+   all-reduce for the no-compression baseline),
+4. every replica applies the same averaged update (so one shared model object
+   suffices),
+5. the iteration is priced by the timeline model (compute + compression +
+   communication) to produce simulated wall-clock time, from which
+   throughput and time-to-quality speed-ups are derived.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..compressors.base import Compressor
+from ..compressors.registry import create_compressor
+from ..compressors.topk import NoCompression
+from ..data.loader import BatchIterator, shard_dataset
+from ..gradients.capture import GradientCapture
+from ..nn.losses import accuracy, cross_entropy, perplexity
+from ..nn.module import Module
+from ..optim.lr_scheduler import LRScheduler
+from ..optim.sgd import SGD
+from ..perfmodel.costs import DeviceProfile
+from ..perfmodel.device import GPU_V100
+from ..tensor.flatten import unflatten
+from ..tensor.sparse import SparseGradient
+from .collectives import allgather_sparse, allreduce_dense
+from .metrics import IterationRecord, TrainingMetrics
+from .network import CLUSTER_ETHERNET_10G, NetworkModel
+from .timeline import TimelineModel
+from .worker import Worker
+
+
+@dataclass
+class TrainerConfig:
+    """Hyper-parameters of one distributed training run."""
+
+    num_workers: int = 8
+    batch_size: int = 16
+    iterations: int = 100
+    ratio: float = 0.01
+    lr: float = 0.1
+    momentum: float = 0.0
+    nesterov: bool = False
+    weight_decay: float = 0.0
+    use_error_feedback: bool = True
+    clip_norm: float | None = None
+    warmup_iterations: int = 0
+    seed: int = 0
+    compute_seconds: float = 0.01
+    dimension_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        if self.iterations < 1:
+            raise ValueError("iterations must be >= 1")
+        if not 0.0 < self.ratio <= 1.0:
+            raise ValueError("ratio must be in (0, 1]")
+        if self.warmup_iterations < 0:
+            raise ValueError("warmup_iterations must be non-negative")
+        if self.compute_seconds < 0.0:
+            raise ValueError("compute_seconds must be non-negative")
+
+
+@dataclass
+class TrainingRunResult:
+    """Output of one full training run."""
+
+    metrics: TrainingMetrics
+    final_evaluation: dict[str, float] = field(default_factory=dict)
+    compressor_name: str = ""
+    config: TrainerConfig | None = None
+
+
+class DistributedTrainer:
+    """Simulated synchronous data-parallel training with compressed gradients."""
+
+    def __init__(
+        self,
+        model: Module,
+        dataset,
+        compressor: str | Compressor,
+        config: TrainerConfig,
+        *,
+        network: NetworkModel = CLUSTER_ETHERNET_10G,
+        device: DeviceProfile = GPU_V100,
+        compressor_kwargs: dict | None = None,
+        scheduler: LRScheduler | None = None,
+        capture: GradientCapture | None = None,
+    ) -> None:
+        self.model = model
+        self.config = config
+        self.capture = capture
+        self.scheduler = scheduler
+
+        shards = shard_dataset(dataset, config.num_workers, seed=config.seed)
+        self.workers: list[Worker] = []
+        for worker_id, shard in enumerate(shards):
+            comp = self._make_compressor(compressor, compressor_kwargs)
+            batches = BatchIterator(shard, config.batch_size, seed=config.seed + 101 * worker_id)
+            self.workers.append(
+                Worker(
+                    worker_id,
+                    model,
+                    batches,
+                    comp,
+                    use_error_feedback=config.use_error_feedback,
+                    clip_norm=config.clip_norm,
+                )
+            )
+        self.compressor_name = self.workers[0].compressor.name
+        self.is_baseline = isinstance(self.workers[0].compressor, NoCompression)
+
+        self.optimizer = SGD(
+            model,
+            lr=config.lr,
+            momentum=config.momentum,
+            nesterov=config.nesterov,
+            weight_decay=config.weight_decay,
+        )
+        if scheduler is not None:
+            scheduler.optimizer = self.optimizer
+
+        dimension = self.workers[0].flat_spec.total_size
+        self.timeline = TimelineModel(
+            network=network,
+            device=device,
+            compute_seconds=config.compute_seconds,
+            num_workers=config.num_workers,
+            model_dimension=dimension,
+            dimension_scale=config.dimension_scale,
+        )
+        self._warmup_compressor = NoCompression()
+
+    @staticmethod
+    def _make_compressor(compressor: str | Compressor, kwargs: dict | None) -> Compressor:
+        if isinstance(compressor, Compressor):
+            # A shared instance would entangle per-worker adaptive state, so a
+            # pre-built compressor is only allowed for single-worker runs.
+            return compressor
+        return create_compressor(compressor, **(kwargs or {}))
+
+    # -- training ---------------------------------------------------------------
+
+    def run(self, *, evaluate_on=None) -> TrainingRunResult:
+        """Train for ``config.iterations`` iterations and return metrics."""
+        cfg = self.config
+        metrics = TrainingMetrics()
+        wall_time = 0.0
+        self.model.train()
+
+        for iteration in range(cfg.iterations):
+            in_warmup = iteration < cfg.warmup_iterations
+            lr = self.scheduler.step() if self.scheduler is not None else self.optimizer.lr
+
+            worker_steps = []
+            for worker in self.workers:
+                if in_warmup and not self.is_baseline:
+                    # Warm-up: train uncompressed (the paper's 5-epoch warm-up).
+                    loss, flat = worker.compute_gradient()
+                    result = self._warmup_compressor.compress(flat, 1.0)
+                    worker_steps.append((loss, result, flat))
+                else:
+                    step = worker.step(cfg.ratio)
+                    worker_steps.append((step.loss, step.compression, step.corrected_gradient))
+
+            losses = [s[0] for s in worker_steps]
+            results = [s[1] for s in worker_steps]
+
+            if self.capture is not None:
+                self.capture.record(iteration, worker_steps[0][2])
+
+            if self.is_baseline or in_warmup:
+                collective = allreduce_dense([s[2] for s in worker_steps])
+                timing = self.timeline.baseline_iteration()
+            else:
+                collective = allgather_sparse([r.sparse for r in results])
+                timing = self.timeline.compressed_iteration(results)
+
+            aggregated = collective.aggregated
+            named_grads = unflatten(aggregated, self.workers[0].flat_spec)
+            self.optimizer.step(named_grads)
+
+            wall_time += timing.total
+            achieved_ratio = float(np.mean([r.achieved_ratio for r in results]))
+            thresholds = [r.threshold for r in results if r.threshold is not None]
+            metrics.append(
+                IterationRecord(
+                    iteration=iteration,
+                    loss=float(np.mean(losses)),
+                    achieved_ratio=achieved_ratio,
+                    target_ratio=1.0 if (self.is_baseline or in_warmup) else cfg.ratio,
+                    threshold=float(np.mean(thresholds)) if thresholds else None,
+                    compute_time=timing.compute,
+                    compression_time=timing.compression,
+                    communication_time=timing.communication,
+                    iteration_time=timing.total,
+                    wall_time=wall_time,
+                    samples=cfg.batch_size * cfg.num_workers,
+                    learning_rate=lr,
+                )
+            )
+
+        evaluation = self.evaluate(evaluate_on) if evaluate_on is not None else {}
+        return TrainingRunResult(
+            metrics=metrics,
+            final_evaluation=evaluation,
+            compressor_name=self.compressor_name,
+            config=cfg,
+        )
+
+    # -- evaluation -------------------------------------------------------------
+
+    def evaluate(self, dataset, *, batch_size: int = 64) -> dict[str, float]:
+        """Mean loss, top-1 accuracy and perplexity of the current model on ``dataset``."""
+        self.model.eval()
+        n = len(dataset)
+        losses: list[float] = []
+        accuracies: list[float] = []
+        for start in range(0, n, batch_size):
+            idx = np.arange(start, min(start + batch_size, n))
+            subset = dataset.subset(idx)
+            logits = self.model(subset.inputs)
+            loss, _ = cross_entropy(logits, subset.targets)
+            losses.append(loss)
+            accuracies.append(accuracy(logits, subset.targets))
+        self.model.train()
+        mean_loss = float(np.mean(losses))
+        return {
+            "loss": mean_loss,
+            "accuracy": float(np.mean(accuracies)),
+            "perplexity": perplexity(mean_loss),
+        }
+
+
+def train_baseline_and_compressed(
+    model_factory,
+    dataset,
+    compressors: list[str],
+    config: TrainerConfig,
+    **trainer_kwargs,
+) -> dict[str, TrainingRunResult]:
+    """Train the same task once per compressor (plus the dense baseline).
+
+    ``model_factory`` must build a freshly initialised (but identically seeded)
+    model per run so every compressor starts from the same weights.
+    """
+    results: dict[str, TrainingRunResult] = {}
+    for name in ["none", *compressors]:
+        model = model_factory()
+        trainer = DistributedTrainer(model, dataset, name, config, **trainer_kwargs)
+        results[name] = trainer.run()
+    return results

@@ -1,0 +1,65 @@
+"""Experiment harness: Table 1 configs, micro-benchmarks, training runs, reporting."""
+
+from .configs import (
+    PAPER_NUM_WORKERS,
+    PAPER_RATIOS,
+    TABLE1,
+    BenchmarkConfig,
+    get_benchmark,
+    table1_rows,
+)
+from .experiments import (
+    CompressibilityStudy,
+    GradientStudy,
+    SIDFitReport,
+    TraceBundle,
+    compressibility_study,
+    extract_traces,
+    gradient_fit_study,
+)
+from .microbench import (
+    DEFAULT_COMPRESSORS,
+    MicrobenchRow,
+    quality_matrix,
+    run_microbenchmark,
+    run_model_microbenchmarks,
+    run_synthetic_size_sweep,
+    speedup_matrix,
+)
+from .reporting import format_series, format_speedup_summary, format_table
+from .training_runs import (
+    BenchmarkComparison,
+    BenchmarkRunRow,
+    compare_compressors,
+    run_benchmark,
+)
+
+__all__ = [
+    "DEFAULT_COMPRESSORS",
+    "PAPER_NUM_WORKERS",
+    "PAPER_RATIOS",
+    "TABLE1",
+    "BenchmarkComparison",
+    "BenchmarkConfig",
+    "BenchmarkRunRow",
+    "CompressibilityStudy",
+    "GradientStudy",
+    "MicrobenchRow",
+    "SIDFitReport",
+    "TraceBundle",
+    "compare_compressors",
+    "compressibility_study",
+    "extract_traces",
+    "format_series",
+    "format_speedup_summary",
+    "format_table",
+    "get_benchmark",
+    "gradient_fit_study",
+    "quality_matrix",
+    "run_benchmark",
+    "run_microbenchmark",
+    "run_model_microbenchmarks",
+    "run_synthetic_size_sweep",
+    "speedup_matrix",
+    "table1_rows",
+]

@@ -1,0 +1,126 @@
+"""Compression micro-benchmarks (Figures 1, 12, 14, 15, 16, 17).
+
+These functions sweep compressors x ratios x devices over gradient vectors of
+controlled dimension and produce the rows the paper's micro-benchmark figures
+plot: modelled compression latency, speed-up normalised to Top-k, and
+threshold-estimation quality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..compressors.registry import create_compressor
+from ..gradients.synthetic import MODEL_DIMENSIONS, SYNTHETIC_TENSOR_SIZES, realistic_gradient
+from ..perfmodel.costs import DeviceProfile
+from ..perfmodel.device import CPU_XEON, GPU_V100
+from ..perfmodel.estimator import estimate_latency_for_dimension
+
+#: Compressor line-up of the micro-benchmark figures.
+DEFAULT_COMPRESSORS: tuple[str, ...] = ("topk", "dgc", "redsync", "gaussiank", "sidco-e")
+
+#: Default number of warm-up compressions so adaptive compressors (SIDCo)
+#: reach their steady-state stage count before being timed.
+DEFAULT_WARMUP_CALLS = 12
+
+
+@dataclass(frozen=True)
+class MicrobenchRow:
+    """One (compressor, ratio, device, dimension) measurement."""
+
+    compressor: str
+    device: str
+    dimension: int
+    ratio: float
+    latency_seconds: float
+    speedup_over_topk: float
+    estimation_quality: float
+
+
+def _steady_state_compressor(name: str, sample: np.ndarray, ratio: float, warmup_calls: int):
+    compressor = create_compressor(name)
+    for _ in range(warmup_calls):
+        compressor.compress(sample, ratio)
+    return compressor
+
+
+def run_microbenchmark(
+    dimension: int,
+    *,
+    ratios: tuple[float, ...] = (0.1, 0.01, 0.001),
+    compressors: tuple[str, ...] = DEFAULT_COMPRESSORS,
+    devices: tuple[DeviceProfile, ...] = (GPU_V100, CPU_XEON),
+    sample_size: int = 500_000,
+    warmup_calls: int = DEFAULT_WARMUP_CALLS,
+    seed: int = 0,
+) -> list[MicrobenchRow]:
+    """Latency / speed-up / quality rows for one gradient dimension (Figure 1 layout)."""
+    if dimension < 1:
+        raise ValueError("dimension must be positive")
+    sample = realistic_gradient(min(dimension, sample_size), seed=seed)
+    rows: list[MicrobenchRow] = []
+    for device in devices:
+        for ratio in ratios:
+            latencies: dict[str, float] = {}
+            qualities: dict[str, float] = {}
+            for name in compressors:
+                compressor = _steady_state_compressor(name, sample, ratio, warmup_calls)
+                estimate = estimate_latency_for_dimension(compressor, sample, dimension, ratio, device)
+                latencies[name] = estimate.seconds
+                qualities[name] = estimate.achieved_ratio / ratio
+            reference = latencies.get("topk")
+            for name in compressors:
+                speedup = reference / latencies[name] if reference else float("nan")
+                rows.append(
+                    MicrobenchRow(
+                        compressor=name,
+                        device=device.name,
+                        dimension=dimension,
+                        ratio=ratio,
+                        latency_seconds=latencies[name],
+                        speedup_over_topk=speedup,
+                        estimation_quality=qualities[name],
+                    )
+                )
+    return rows
+
+
+def run_model_microbenchmarks(
+    models: tuple[str, ...] = ("resnet20", "vgg16", "resnet50", "lstm-ptb"),
+    **kwargs,
+) -> dict[str, list[MicrobenchRow]]:
+    """Micro-benchmark rows for real model dimensions (Figures 14 and 15)."""
+    results: dict[str, list[MicrobenchRow]] = {}
+    for model in models:
+        key = model.lower()
+        if key not in MODEL_DIMENSIONS:
+            raise ValueError(f"unknown model {model!r}; known: {sorted(MODEL_DIMENSIONS)}")
+        results[model] = run_microbenchmark(MODEL_DIMENSIONS[key], **kwargs)
+    return results
+
+
+def run_synthetic_size_sweep(
+    sizes: tuple[int, ...] = SYNTHETIC_TENSOR_SIZES,
+    **kwargs,
+) -> dict[int, list[MicrobenchRow]]:
+    """Micro-benchmark rows for synthetic tensor sizes (Figures 16 and 17)."""
+    return {size: run_microbenchmark(size, **kwargs) for size in sizes}
+
+
+def speedup_matrix(rows: list[MicrobenchRow], device_name: str) -> dict[tuple[str, float], float]:
+    """Pivot rows into ``(compressor, ratio) -> speed-up`` for one device."""
+    return {
+        (row.compressor, row.ratio): row.speedup_over_topk
+        for row in rows
+        if row.device == device_name
+    }
+
+
+def quality_matrix(rows: list[MicrobenchRow]) -> dict[tuple[str, float], float]:
+    """Pivot rows into ``(compressor, ratio) -> k_hat / k`` (device independent)."""
+    out: dict[tuple[str, float], list[float]] = {}
+    for row in rows:
+        out.setdefault((row.compressor, row.ratio), []).append(row.estimation_quality)
+    return {key: float(np.mean(values)) for key, values in out.items()}

@@ -1,0 +1,85 @@
+"""Plain-text reporting of benchmark results.
+
+The paper communicates its results as grouped bar charts and line plots; this
+module renders the same numbers as aligned text tables so the benchmark
+harness can print "the same rows/series the paper reports" without a plotting
+dependency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, is_dataclass
+from typing import Iterable, Mapping
+
+
+def _coerce_row(row) -> dict:
+    if is_dataclass(row) and not isinstance(row, type):
+        return asdict(row)
+    if isinstance(row, Mapping):
+        return dict(row)
+    raise TypeError(f"cannot render row of type {type(row)!r}")
+
+
+def _format_value(value) -> str:
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1000 or magnitude < 0.001:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    if isinstance(value, tuple):
+        return "(" + ", ".join(_format_value(v) for v in value) + ")"
+    return str(value)
+
+
+def format_table(rows: Iterable, columns: list[str] | None = None, *, title: str | None = None) -> str:
+    """Render rows (dicts or dataclasses) as an aligned text table."""
+    dict_rows = [_coerce_row(r) for r in rows]
+    if not dict_rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    if columns is None:
+        columns = list(dict_rows[0].keys())
+    rendered = [[_format_value(row.get(col, "")) for col in columns] for row in dict_rows]
+    widths = [max(len(col), *(len(r[i]) for r in rendered)) for i, col in enumerate(columns)]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for r in rendered:
+        lines.append("  ".join(r[i].ljust(widths[i]) for i in range(len(columns))))
+    return "\n".join(lines)
+
+
+def format_series(name: str, xs, ys, *, max_points: int = 12) -> str:
+    """Render an (x, y) series compactly, subsampling long series."""
+    xs = list(xs)
+    ys = list(ys)
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have the same length")
+    if len(xs) > max_points:
+        step = max(1, len(xs) // max_points)
+        xs = xs[::step]
+        ys = ys[::step]
+    points = ", ".join(f"({_format_value(x)}, {_format_value(y)})" for x, y in zip(xs, ys))
+    return f"{name}: {points}"
+
+
+def format_speedup_summary(rows, *, group_by: str = "ratio") -> str:
+    """Summarise benchmark-comparison rows grouped by ratio (the paper's bar groups)."""
+    dict_rows = [_coerce_row(r) for r in rows]
+    groups: dict = {}
+    for row in dict_rows:
+        groups.setdefault(row[group_by], []).append(row)
+    lines = []
+    for key in sorted(groups):
+        lines.append(f"{group_by}={key}:")
+        for row in groups[key]:
+            lines.append(
+                f"  {row['compressor']:<12} speedup={_format_value(row['speedup_vs_baseline'])}"
+                f"  tput={_format_value(row['throughput_vs_baseline'])}"
+                f"  est_quality={_format_value(row['estimation_quality'])}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,165 @@
+"""End-to-end training comparisons (Figures 3, 5, 6, 12, 13, 18).
+
+``run_benchmark`` trains one Table 1 proxy benchmark with one compressor and
+reports the paper's three headline metrics relative to the dense baseline:
+
+* normalised training speed-up  — (final quality / total simulated time),
+  normalised by the same quantity for the no-compression baseline,
+* normalised average throughput — simulated samples/second over the baseline's,
+* estimation quality            — mean achieved/target ratio with a 90% CI.
+
+``compare_compressors`` sweeps a compressor line-up (sharing one baseline run)
+and returns the rows a figure panel plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..distributed.network import CLUSTER_ETHERNET_10G, NetworkModel
+from ..distributed.trainer import DistributedTrainer, TrainerConfig, TrainingRunResult
+from ..gradients.capture import GradientCapture
+from ..perfmodel.costs import DeviceProfile
+from ..perfmodel.device import GPU_V100
+from .configs import PAPER_NUM_WORKERS, BenchmarkConfig, get_benchmark
+
+
+@dataclass(frozen=True)
+class BenchmarkRunRow:
+    """One (benchmark, compressor, ratio) result row."""
+
+    benchmark: str
+    compressor: str
+    ratio: float
+    final_quality: float
+    final_loss: float
+    total_time: float
+    speedup_vs_baseline: float
+    throughput_vs_baseline: float
+    estimation_quality: float
+    estimation_quality_ci: tuple[float, float]
+
+
+@dataclass
+class BenchmarkComparison:
+    """All rows for one benchmark plus the shared baseline run."""
+
+    benchmark: str
+    baseline: TrainingRunResult
+    rows: list[BenchmarkRunRow] = field(default_factory=list)
+    runs: dict[tuple[str, float], TrainingRunResult] = field(default_factory=dict)
+
+
+def _quality_from_evaluation(config: BenchmarkConfig, evaluation: dict[str, float]) -> float:
+    """Map the run's evaluation dict onto the benchmark's 'higher is better' quality metric."""
+    if config.quality_metric == "perplexity":
+        # Lower perplexity is better; invert so speed-up math stays "higher is better".
+        return 1.0 / max(evaluation["perplexity"], 1e-12)
+    return evaluation["accuracy"]
+
+
+def _trainer_config(
+    config: BenchmarkConfig,
+    ratio: float,
+    *,
+    num_workers: int,
+    iterations: int | None,
+    seed: int,
+    network: NetworkModel,
+) -> TrainerConfig:
+    return TrainerConfig(
+        num_workers=num_workers,
+        batch_size=config.proxy_batch_size,
+        iterations=iterations or config.proxy_iterations,
+        ratio=ratio,
+        lr=config.proxy_lr,
+        momentum=config.proxy_momentum,
+        nesterov=config.proxy_nesterov,
+        clip_norm=config.proxy_clip_norm,
+        use_error_feedback=True,
+        seed=seed,
+        compute_seconds=config.compute_seconds(network, num_workers),
+        dimension_scale=config.dimension_scale(),
+    )
+
+
+def run_benchmark(
+    benchmark: str | BenchmarkConfig,
+    compressor: str,
+    ratio: float,
+    *,
+    num_workers: int = PAPER_NUM_WORKERS,
+    iterations: int | None = None,
+    seed: int = 0,
+    network: NetworkModel = CLUSTER_ETHERNET_10G,
+    device: DeviceProfile = GPU_V100,
+    capture: GradientCapture | None = None,
+) -> TrainingRunResult:
+    """Train one Table 1 proxy benchmark with one compressor and evaluate it."""
+    config = benchmark if isinstance(benchmark, BenchmarkConfig) else get_benchmark(benchmark)
+    dataset = config.build_proxy_dataset(seed=seed)
+    model = config.build_proxy_model(seed=seed + 1)
+    trainer_cfg = _trainer_config(
+        config, ratio, num_workers=num_workers, iterations=iterations, seed=seed, network=network
+    )
+    trainer = DistributedTrainer(
+        model,
+        dataset,
+        compressor,
+        trainer_cfg,
+        network=network,
+        device=device,
+        capture=capture,
+    )
+    return trainer.run(evaluate_on=dataset)
+
+
+def compare_compressors(
+    benchmark: str | BenchmarkConfig,
+    compressors: tuple[str, ...],
+    ratios: tuple[float, ...],
+    *,
+    num_workers: int = PAPER_NUM_WORKERS,
+    iterations: int | None = None,
+    seed: int = 0,
+    network: NetworkModel = CLUSTER_ETHERNET_10G,
+    device: DeviceProfile = GPU_V100,
+) -> BenchmarkComparison:
+    """Run one benchmark for every (compressor, ratio) pair plus the dense baseline."""
+    config = benchmark if isinstance(benchmark, BenchmarkConfig) else get_benchmark(benchmark)
+    baseline = run_benchmark(
+        config, "none", 1.0, num_workers=num_workers, iterations=iterations, seed=seed,
+        network=network, device=device,
+    )
+    baseline_quality = _quality_from_evaluation(config, baseline.final_evaluation)
+    baseline_rate = baseline_quality / max(baseline.metrics.total_time, 1e-12)
+    baseline_throughput = baseline.metrics.average_throughput()
+
+    comparison = BenchmarkComparison(benchmark=config.name, baseline=baseline)
+    for name in compressors:
+        for ratio in ratios:
+            result = run_benchmark(
+                config, name, ratio, num_workers=num_workers, iterations=iterations, seed=seed,
+                network=network, device=device,
+            )
+            quality = _quality_from_evaluation(config, result.final_evaluation)
+            rate = quality / max(result.metrics.total_time, 1e-12)
+            est_quality, est_ci = result.metrics.estimation_quality()
+            comparison.rows.append(
+                BenchmarkRunRow(
+                    benchmark=config.name,
+                    compressor=name,
+                    ratio=ratio,
+                    final_quality=quality,
+                    final_loss=result.metrics.final_loss,
+                    total_time=result.metrics.total_time,
+                    speedup_vs_baseline=rate / baseline_rate if baseline_rate > 0 else float("nan"),
+                    throughput_vs_baseline=result.metrics.average_throughput() / baseline_throughput
+                    if baseline_throughput > 0
+                    else float("nan"),
+                    estimation_quality=est_quality,
+                    estimation_quality_ci=est_ci,
+                )
+            )
+            comparison.runs[(name, ratio)] = result
+    return comparison

@@ -1,0 +1,139 @@
+"""Minimal module/parameter abstraction for the NumPy DNN substrate.
+
+The distributed-training simulator needs real models producing real,
+training-evolving gradients (Property 1/2 of the paper are statements about
+those gradients), but none of the heavyweight framework machinery.  This
+module provides the smallest useful contract:
+
+* :class:`Parameter` — a named array with an accumulated gradient,
+* :class:`Module` — forward/backward with explicit caches (no autograd tape),
+  parameter registration, and named traversal compatible with the
+  flatten/unflatten utilities in :mod:`repro.tensor`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Parameter:
+    """A trainable array and its accumulated gradient."""
+
+    def __init__(self, data: np.ndarray) -> None:
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad = np.zeros_like(self.data)
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def size(self) -> int:
+        return int(self.data.size)
+
+    def zero_grad(self) -> None:
+        self.grad.fill(0.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Parameter(shape={self.data.shape})"
+
+
+class Module:
+    """Base class for layers and models.
+
+    Subclasses implement ``forward`` (storing whatever they need for the
+    backward pass on ``self``) and ``backward`` (consuming the stored cache,
+    accumulating parameter gradients, and returning the gradient with respect
+    to the input).
+    """
+
+    def __init__(self) -> None:
+        self._parameters: dict[str, Parameter] = {}
+        self._modules: dict[str, "Module"] = {}
+        self.training = True
+
+    # -- registration -------------------------------------------------------
+
+    def register_parameter(self, name: str, param: Parameter) -> Parameter:
+        self._parameters[name] = param
+        return param
+
+    def register_module(self, name: str, module: "Module") -> "Module":
+        self._modules[name] = module
+        return module
+
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self.__dict__.setdefault("_parameters", {})[name] = value
+        elif isinstance(value, Module):
+            self.__dict__.setdefault("_modules", {})[name] = value
+        object.__setattr__(self, name, value)
+
+    # -- traversal -----------------------------------------------------------
+
+    def named_parameters(self, prefix: str = "") -> dict[str, Parameter]:
+        """All parameters of this module and its children, keyed by dotted path."""
+        out: dict[str, Parameter] = {}
+        for name, param in self._parameters.items():
+            out[f"{prefix}{name}"] = param
+        for name, module in self._modules.items():
+            out.update(module.named_parameters(prefix=f"{prefix}{name}."))
+        return out
+
+    def parameters(self) -> list[Parameter]:
+        return list(self.named_parameters().values())
+
+    def num_parameters(self) -> int:
+        """Total number of scalar trainable parameters."""
+        return sum(p.size for p in self.parameters())
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    # -- state round-trips (used by tests and checkpoint-free workers) -------
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        return {name: param.data.copy() for name, param in self.named_parameters().items()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        params = self.named_parameters()
+        missing = set(params) - set(state)
+        if missing:
+            raise KeyError(f"state dict is missing parameters: {sorted(missing)}")
+        for name, param in params.items():
+            value = np.asarray(state[name], dtype=np.float64)
+            if value.shape != param.data.shape:
+                raise ValueError(
+                    f"shape mismatch for {name!r}: expected {param.data.shape}, got {value.shape}"
+                )
+            param.data[...] = value
+
+    def gradient_dict(self) -> dict[str, np.ndarray]:
+        """Current accumulated gradients keyed like ``named_parameters``."""
+        return {name: param.grad.copy() for name, param in self.named_parameters().items()}
+
+    # -- mode ----------------------------------------------------------------
+
+    def train(self) -> "Module":
+        self.training = True
+        for module in self._modules.values():
+            module.train()
+        return self
+
+    def eval(self) -> "Module":
+        self.training = False
+        for module in self._modules.values():
+            module.eval()
+        return self
+
+    # -- computation ----------------------------------------------------------
+
+    def forward(self, *args, **kwargs):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)

@@ -1,0 +1,84 @@
+"""Learning-rate schedules used by the Table 1 training recipes."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .sgd import SGD
+
+
+class LRScheduler:
+    """Base scheduler: computes a learning rate per iteration and writes it to the optimiser."""
+
+    def __init__(self, optimizer: SGD, base_lr: float | None = None) -> None:
+        self.optimizer = optimizer
+        self.base_lr = base_lr if base_lr is not None else optimizer.lr
+        self.iteration = 0
+
+    def lr_at(self, iteration: int) -> float:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def step(self) -> float:
+        """Advance one iteration and apply the new learning rate."""
+        lr = self.lr_at(self.iteration)
+        self.optimizer.lr = lr
+        self.iteration += 1
+        return lr
+
+
+class ConstantLR(LRScheduler):
+    """Keep the base learning rate unchanged."""
+
+    def lr_at(self, iteration: int) -> float:
+        return self.base_lr
+
+
+class WarmupStepDecay(LRScheduler):
+    """Linear warm-up followed by multiplicative step decay.
+
+    The paper uses a 5-epoch warm-up for every benchmark and the standard
+    step-decay recipes of the reference training schedules.
+    """
+
+    def __init__(
+        self,
+        optimizer: SGD,
+        warmup_iterations: int,
+        decay_every: int,
+        decay_factor: float = 0.1,
+        base_lr: float | None = None,
+    ) -> None:
+        super().__init__(optimizer, base_lr)
+        if warmup_iterations < 0:
+            raise ValueError("warmup_iterations must be non-negative")
+        if decay_every <= 0:
+            raise ValueError("decay_every must be positive")
+        if not 0.0 < decay_factor <= 1.0:
+            raise ValueError("decay_factor must be in (0, 1]")
+        self.warmup_iterations = warmup_iterations
+        self.decay_every = decay_every
+        self.decay_factor = decay_factor
+
+    def lr_at(self, iteration: int) -> float:
+        if self.warmup_iterations and iteration < self.warmup_iterations:
+            return self.base_lr * (iteration + 1) / self.warmup_iterations
+        past_warmup = iteration - self.warmup_iterations
+        num_decays = past_warmup // self.decay_every
+        return self.base_lr * (self.decay_factor**num_decays)
+
+
+class CosineAnnealing(LRScheduler):
+    """Cosine decay from the base learning rate to ``min_lr`` over ``total_iterations``."""
+
+    def __init__(self, optimizer: SGD, total_iterations: int, min_lr: float = 0.0, base_lr: float | None = None) -> None:
+        super().__init__(optimizer, base_lr)
+        if total_iterations <= 0:
+            raise ValueError("total_iterations must be positive")
+        if min_lr < 0.0:
+            raise ValueError("min_lr must be non-negative")
+        self.total_iterations = total_iterations
+        self.min_lr = min_lr
+
+    def lr_at(self, iteration: int) -> float:
+        progress = min(iteration / self.total_iterations, 1.0)
+        return self.min_lr + 0.5 * (self.base_lr - self.min_lr) * (1.0 + np.cos(np.pi * progress))

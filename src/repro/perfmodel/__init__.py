@@ -1,0 +1,30 @@
+"""Device performance model for compression latency."""
+
+from .costs import PRIMITIVES, CostBreakdown, DeviceProfile, breakdown, scale_ops
+from .device import CPU_XEON, DEVICES, GPU_V100, get_device
+from .estimator import (
+    DEFAULT_SAMPLE_CAP,
+    LatencyEstimate,
+    estimate_latency,
+    estimate_latency_for_dimension,
+    latency_breakdown,
+    speedup_over_reference,
+)
+
+__all__ = [
+    "CPU_XEON",
+    "DEFAULT_SAMPLE_CAP",
+    "DEVICES",
+    "GPU_V100",
+    "PRIMITIVES",
+    "CostBreakdown",
+    "DeviceProfile",
+    "LatencyEstimate",
+    "breakdown",
+    "estimate_latency",
+    "estimate_latency_for_dimension",
+    "get_device",
+    "latency_breakdown",
+    "scale_ops",
+    "speedup_over_reference",
+]

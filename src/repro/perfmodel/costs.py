@@ -1,0 +1,104 @@
+"""Per-primitive cost model for compression operations.
+
+The paper's latency results (Figures 1, 12, 14-17) are driven by how a small
+set of vectorised primitives behave on different devices:
+
+* GPUs execute element-wise passes, reductions and random-number generation at
+  memory bandwidth, but Top-k selection (sort / radix-select) parallelises
+  poorly — this is why Top-k is the slowest compressor on GPU;
+* CPUs select k-th elements reasonably fast (``nth_element`` / radix select)
+  but pay dearly for the per-element random number generation and gathers DGC
+  needs — this is why DGC is the slowest compressor on CPU;
+* threshold estimators only use reductions, element-wise passes and a stream
+  compaction, so they are cheap everywhere.
+
+A :class:`DeviceProfile` captures those asymmetries as per-element
+coefficients plus a fixed per-operation launch overhead.  Absolute values are
+calibrated to V100-class and Xeon-class hardware orders of magnitude, but the
+figures only rely on the relative ordering and how it scales with the vector
+dimension ``d``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..compressors.base import OpRecord
+
+#: Primitive names every profile must provide a coefficient for.
+PRIMITIVES: tuple[str, ...] = (
+    "elementwise",
+    "reduce",
+    "log_reduce",
+    "compact",
+    "topk_select",
+    "sort",
+    "random_sample",
+)
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """Per-element costs (seconds/element) and per-op launch overhead (seconds)."""
+
+    name: str
+    per_element: dict[str, float]
+    launch_overhead: float
+
+    def __post_init__(self) -> None:
+        missing = set(PRIMITIVES) - set(self.per_element)
+        if missing:
+            raise ValueError(f"device profile {self.name!r} is missing primitives: {sorted(missing)}")
+        if self.launch_overhead < 0.0:
+            raise ValueError("launch_overhead must be non-negative")
+        bad = {op: c for op, c in self.per_element.items() if c <= 0.0}
+        if bad:
+            raise ValueError(f"per-element costs must be positive, got {bad}")
+
+    def op_cost(self, record: OpRecord) -> float:
+        """Estimated seconds for one primitive invocation."""
+        if record.op not in self.per_element:
+            raise KeyError(f"unknown primitive {record.op!r} for device {self.name!r}")
+        return self.launch_overhead + self.per_element[record.op] * max(record.size, 0)
+
+    def trace_cost(self, ops: list[OpRecord]) -> float:
+        """Estimated seconds for a full operation trace."""
+        return float(sum(self.op_cost(op) for op in ops))
+
+
+@dataclass
+class CostBreakdown:
+    """Latency estimate decomposed per primitive (for reports and ablations)."""
+
+    device: str
+    total_seconds: float
+    per_primitive_seconds: dict[str, float] = field(default_factory=dict)
+    num_ops: int = 0
+
+
+def breakdown(ops: list[OpRecord], device: DeviceProfile) -> CostBreakdown:
+    """Decompose the cost of an operation trace per primitive."""
+    per_primitive: dict[str, float] = {}
+    total = 0.0
+    for record in ops:
+        cost = device.op_cost(record)
+        per_primitive[record.op] = per_primitive.get(record.op, 0.0) + cost
+        total += cost
+    return CostBreakdown(
+        device=device.name,
+        total_seconds=total,
+        per_primitive_seconds=per_primitive,
+        num_ops=len(ops),
+    )
+
+
+def scale_ops(ops: list[OpRecord], factor: float) -> list[OpRecord]:
+    """Scale the sizes of an operation trace by ``factor``.
+
+    Every compressor's trace sizes are linear in the gradient dimension, so a
+    trace captured on a down-sampled vector can be rescaled to the full model
+    dimension without materialising hundreds of millions of elements.
+    """
+    if factor <= 0.0:
+        raise ValueError("factor must be positive")
+    return [OpRecord(op=o.op, size=int(round(o.size * factor)), k=int(round(o.k * factor))) for o in ops]

@@ -1,0 +1,69 @@
+"""Statistics substrate: sparsity-inducing distributions, fitting, and diagnostics."""
+
+from .compressibility import (
+    CompressibilityReport,
+    fit_power_law_decay,
+    power_law_envelope,
+    sorted_magnitudes,
+    sparsification_error,
+    sparsification_error_curve,
+)
+from .distributions import (
+    ABSOLUTE_SIDS,
+    SYMMETRIC_SIDS,
+    DoubleGamma,
+    DoubleGeneralizedPareto,
+    Exponential,
+    Gamma,
+    GeneralizedPareto,
+    Laplace,
+)
+from .fitting import (
+    VALID_SIDS,
+    FitResult,
+    estimate_threshold,
+    fit_absolute,
+    threshold_from_fit,
+    validate_sid,
+)
+from .goodness import (
+    EmpiricalDensity,
+    FitQuality,
+    empirical_cdf,
+    empirical_pdf,
+    evaluate_fit,
+    ks_statistic,
+    log_likelihood,
+    tail_quantile_relative_error,
+)
+
+__all__ = [
+    "ABSOLUTE_SIDS",
+    "SYMMETRIC_SIDS",
+    "VALID_SIDS",
+    "CompressibilityReport",
+    "DoubleGamma",
+    "DoubleGeneralizedPareto",
+    "EmpiricalDensity",
+    "Exponential",
+    "FitQuality",
+    "FitResult",
+    "Gamma",
+    "GeneralizedPareto",
+    "Laplace",
+    "empirical_cdf",
+    "empirical_pdf",
+    "estimate_threshold",
+    "evaluate_fit",
+    "fit_absolute",
+    "fit_power_law_decay",
+    "ks_statistic",
+    "log_likelihood",
+    "power_law_envelope",
+    "sorted_magnitudes",
+    "sparsification_error",
+    "sparsification_error_curve",
+    "tail_quantile_relative_error",
+    "threshold_from_fit",
+    "validate_sid",
+]

@@ -1,0 +1,15 @@
+"""Tensor utilities: flatten/unflatten parameter groups and sparse gradients."""
+
+from .flatten import FlatSpec, TensorSlot, flatten, unflatten
+from .sparse import FLOAT_BYTES, INDEX_BYTES, SparseGradient, aggregate_sparse
+
+__all__ = [
+    "FLOAT_BYTES",
+    "INDEX_BYTES",
+    "FlatSpec",
+    "SparseGradient",
+    "TensorSlot",
+    "aggregate_sparse",
+    "flatten",
+    "unflatten",
+]

@@ -1,0 +1,110 @@
+"""Contract tests every compressor must satisfy, parametrised across the registry."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compressors import available_compressors, create_compressor
+from repro.gradients import realistic_gradient
+
+ALL_NAMES = [n for n in available_compressors() if n != "none"]
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+class TestCompressorContract:
+    def test_values_come_from_original_vector(self, name, small_gradient):
+        compressor = create_compressor(name)
+        result = compressor.compress(small_gradient, 0.05)
+        sparse = result.sparse
+        if name == "randomk":
+            # Random-k rescales by d/k to stay unbiased.
+            scale = small_gradient.size / sparse.nnz
+            assert np.allclose(sparse.values, small_gradient[sparse.indices] * scale)
+        else:
+            assert np.allclose(sparse.values, small_gradient[sparse.indices])
+
+    def test_indices_unique_and_in_range(self, name, small_gradient):
+        result = create_compressor(name).compress(small_gradient, 0.05)
+        idx = result.sparse.indices
+        assert idx.size == np.unique(idx).size
+        assert idx.min() >= 0 and idx.max() < small_gradient.size
+
+    def test_dense_size_preserved(self, name, small_gradient):
+        result = create_compressor(name).compress(small_gradient, 0.05)
+        assert result.sparse.dense_size == small_gradient.size
+
+    def test_ops_trace_nonempty(self, name, small_gradient):
+        result = create_compressor(name).compress(small_gradient, 0.05)
+        assert len(result.ops) >= 1
+        assert all(op.size >= 0 for op in result.ops)
+
+    def test_achieved_ratio_reported(self, name, small_gradient):
+        result = create_compressor(name).compress(small_gradient, 0.05)
+        assert result.target_ratio == 0.05
+        assert 0.0 < result.achieved_ratio <= 1.0
+        assert result.achieved_k == result.sparse.nnz
+
+    def test_empty_gradient_rejected(self, name):
+        with pytest.raises(ValueError):
+            create_compressor(name).compress(np.array([]), 0.1)
+
+    @pytest.mark.parametrize("ratio", [0.0, -0.1, 1.5])
+    def test_invalid_ratio_rejected(self, name, ratio, small_gradient):
+        with pytest.raises(ValueError):
+            create_compressor(name).compress(small_gradient, ratio)
+
+    def test_reset_is_safe(self, name, small_gradient):
+        compressor = create_compressor(name)
+        compressor.compress(small_gradient, 0.01)
+        compressor.reset()
+        result = compressor.compress(small_gradient, 0.01)
+        assert result.achieved_k >= 1
+
+
+@pytest.mark.parametrize("name", ["topk", "dgc", "sidco-e", "sidco-gp", "sidco-p"])
+class TestSelectionQuality:
+    """Magnitude-selecting compressors must keep (approximately) the largest elements."""
+
+    def test_kept_values_are_large(self, name, medium_gradient):
+        compressor = create_compressor(name)
+        ratio = 0.01
+        # Warm adaptive compressors into steady state.
+        for _ in range(10):
+            result = compressor.compress(medium_gradient, ratio)
+        kept_min = np.abs(result.sparse.values).min()
+        dropped = np.delete(np.abs(medium_gradient), result.sparse.indices)
+        # Threshold selections are exact: no dropped element exceeds the smallest kept one.
+        assert dropped.max() <= kept_min + 1e-12
+
+    def test_estimation_quality_reasonable(self, name, medium_gradient):
+        compressor = create_compressor(name)
+        quality = None
+        for _ in range(20):
+            quality = compressor.compress(medium_gradient, 0.01).estimation_quality
+        assert 0.5 <= quality <= 2.0
+
+
+class TestPropertyBasedContract:
+    @given(
+        size=st.integers(min_value=100, max_value=5000),
+        ratio=st.sampled_from([0.5, 0.1, 0.01]),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_topk_keeps_exactly_k(self, size, ratio, seed):
+        gradient = realistic_gradient(size, seed=seed)
+        result = create_compressor("topk").compress(gradient, ratio)
+        expected_k = max(1, int(round(ratio * size)))
+        assert result.achieved_k == expected_k
+
+    @given(
+        size=st.integers(min_value=1000, max_value=20000),
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_sidco_reconstruction_error_bounded_by_dense_norm(self, size, seed):
+        gradient = realistic_gradient(size, seed=seed)
+        result = create_compressor("sidco-e").compress(gradient, 0.1)
+        error = np.linalg.norm(result.sparse.to_dense() - gradient)
+        assert error <= np.linalg.norm(gradient) + 1e-12

@@ -1,0 +1,41 @@
+"""Tests for the Random-k baseline."""
+
+import numpy as np
+import pytest
+
+from repro.compressors import RandomK
+
+
+class TestRandomK:
+    def test_keeps_exact_count(self, small_gradient):
+        result = RandomK(seed=0).compress(small_gradient, 0.05)
+        assert result.achieved_k == int(round(0.05 * small_gradient.size))
+
+    def test_rescaling_makes_estimator_unbiased(self, rng):
+        gradient = rng.normal(size=2000)
+        total = np.zeros_like(gradient)
+        trials = 400
+        for seed in range(trials):
+            total += RandomK(seed=seed).compress(gradient, 0.25).sparse.to_dense()
+        mean_estimate = total / trials
+        # The mean over many random selections approaches the original vector.
+        correlation = np.corrcoef(mean_estimate, gradient)[0, 1]
+        assert correlation > 0.95
+
+    def test_without_rescale_values_match_original(self, small_gradient):
+        result = RandomK(seed=0, rescale=False).compress(small_gradient, 0.05)
+        assert np.allclose(result.sparse.values, small_gradient[result.sparse.indices])
+
+    def test_worse_than_topk_in_approximation_error(self, medium_gradient):
+        from repro.compressors import TopK
+
+        ratio = 0.01
+        topk_err = np.linalg.norm(TopK().compress(medium_gradient, ratio).sparse.to_dense() - medium_gradient)
+        rand = RandomK(seed=0, rescale=False).compress(medium_gradient, ratio)
+        rand_err = np.linalg.norm(rand.sparse.to_dense() - medium_gradient)
+        assert topk_err < rand_err
+
+    def test_deterministic_given_seed(self, small_gradient):
+        a = RandomK(seed=9).compress(small_gradient, 0.02)
+        b = RandomK(seed=9).compress(small_gradient, 0.02)
+        assert np.array_equal(a.sparse.indices, b.sparse.indices)

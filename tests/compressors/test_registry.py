@@ -1,0 +1,59 @@
+"""Tests for the compressor registry."""
+
+import pytest
+
+from repro.compressors import (
+    PAPER_COMPRESSORS,
+    SIDCO_VARIANTS,
+    Compressor,
+    available_compressors,
+    create_compressor,
+    register_compressor,
+)
+from repro.core import SIDCo
+
+
+class TestRegistry:
+    def test_all_paper_compressors_available(self):
+        names = available_compressors()
+        for name in PAPER_COMPRESSORS + SIDCO_VARIANTS + ("none", "randomk", "hard_threshold"):
+            assert name in names
+
+    def test_create_returns_compressor_instances(self):
+        for name in available_compressors():
+            assert isinstance(create_compressor(name), Compressor)
+
+    def test_sidco_variants_map_to_sids(self):
+        assert create_compressor("sidco-e").sid == "exponential"
+        assert create_compressor("sidco-gp").sid == "gamma"
+        assert create_compressor("sidco-p").sid == "gpareto"
+        assert isinstance(create_compressor("sidco-e"), SIDCo)
+
+    def test_kwargs_forwarded(self):
+        dgc = create_compressor("dgc", sample_ratio=0.05)
+        assert dgc.sample_ratio == 0.05
+
+    def test_case_insensitive(self):
+        assert create_compressor("TopK").name == "topk"
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            create_compressor("does-not-exist")
+
+    def test_register_custom_compressor(self, small_gradient):
+        class Dummy(Compressor):
+            name = "dummy"
+
+            def compress(self, gradient, ratio):
+                from repro.compressors import TopK
+
+                return TopK().compress(gradient, ratio)
+
+        register_compressor("dummy-test", Dummy, overwrite=True)
+        assert "dummy-test" in available_compressors()
+        result = create_compressor("dummy-test").compress(small_gradient, 0.1)
+        assert result.achieved_k >= 1
+
+    def test_register_duplicate_rejected(self):
+        with pytest.raises(ValueError):
+            register_compressor("topk", lambda: None)

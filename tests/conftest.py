@@ -1,0 +1,41 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import make_blobs_classification, make_image_classification, make_language_modeling
+from repro.gradients import realistic_gradient
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_gradient() -> np.ndarray:
+    """A 20k-element realistic (mixture) gradient used across compressor tests."""
+    return realistic_gradient(20_000, seed=7)
+
+
+@pytest.fixture
+def medium_gradient() -> np.ndarray:
+    """A 100k-element realistic gradient for estimation-quality tests."""
+    return realistic_gradient(100_000, seed=11)
+
+
+@pytest.fixture
+def blobs_dataset():
+    return make_blobs_classification(num_examples=128, num_features=16, num_classes=4, seed=3)
+
+
+@pytest.fixture
+def image_dataset():
+    return make_image_classification(num_examples=64, num_classes=4, image_size=8, seed=3)
+
+
+@pytest.fixture
+def lm_dataset():
+    return make_language_modeling(num_sequences=48, seq_len=8, vocab_size=24, seed=3)

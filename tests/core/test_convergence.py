@@ -1,0 +1,72 @@
+"""Tests for the convergence-analysis helpers (Lemma 3)."""
+
+import pytest
+
+from repro.core.convergence import (
+    ConvergenceBound,
+    contraction_factor,
+    error_feedback_residual_bound,
+    extra_iterations_fraction,
+    iterations_to_sgd_rate,
+)
+
+
+class TestContraction:
+    def test_full_compression_gives_zero_error(self):
+        assert contraction_factor(1.0) == 0.0
+
+    def test_aggressive_compression_keeps_most_error(self):
+        assert contraction_factor(0.001) == pytest.approx(0.999)
+
+    def test_invalid_delta_rejected(self):
+        with pytest.raises(ValueError):
+            contraction_factor(0.0)
+        with pytest.raises(ValueError):
+            contraction_factor(1.5)
+
+
+class TestIterationsToRate:
+    def test_matches_paper_scaling(self):
+        # I > O(1/delta^2) without estimation error.
+        assert iterations_to_sgd_rate(0.01) == pytest.approx(1e4)
+        assert iterations_to_sgd_rate(0.001) == pytest.approx(1e6)
+
+    def test_estimation_error_inflates_bound(self):
+        exact = iterations_to_sgd_rate(0.01, eps=0.0)
+        loose = iterations_to_sgd_rate(0.01, eps=0.2)
+        assert loose > exact
+        assert loose / exact == pytest.approx(1.0 / 0.8**2)
+
+    def test_eps_twenty_percent_means_about_fifty_percent_more(self):
+        # The paper: "we need at most about 50% more iterations than Top-k".
+        assert extra_iterations_fraction(0.2) == pytest.approx(0.5625)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            iterations_to_sgd_rate(0.0)
+        with pytest.raises(ValueError):
+            iterations_to_sgd_rate(0.1, eps=1.0)
+        with pytest.raises(ValueError):
+            extra_iterations_fraction(-0.1)
+
+
+class TestBundles:
+    def test_convergence_bound_bundle(self):
+        bound = ConvergenceBound.for_config(0.01, 0.2)
+        assert bound.delta == 0.01
+        assert bound.contraction == pytest.approx(0.99)
+        assert bound.iterations_to_rate == pytest.approx(1e4 / 0.64)
+
+    def test_residual_bound_decreases_with_iterations(self):
+        early = error_feedback_residual_bound(0.01, 10, grad_second_moment=1.0, smoothness=1.0)
+        late = error_feedback_residual_bound(0.01, 1000, grad_second_moment=1.0, smoothness=1.0)
+        assert late < early
+
+    def test_residual_bound_zero_when_no_compression(self):
+        assert error_feedback_residual_bound(1.0, 10, 1.0, 1.0) == 0.0
+
+    def test_residual_bound_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            error_feedback_residual_bound(0.0, 10, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            error_feedback_residual_bound(0.5, -1, 1.0, 1.0)

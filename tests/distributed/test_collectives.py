@@ -1,0 +1,48 @@
+"""Tests for simulated collectives."""
+
+import numpy as np
+import pytest
+
+from repro.distributed import allgather_sparse, allreduce_dense
+from repro.tensor import SparseGradient
+
+
+class TestAllreduceDense:
+    def test_averages_gradients(self):
+        grads = [np.array([1.0, 2.0]), np.array([3.0, 4.0])]
+        result = allreduce_dense(grads)
+        assert np.allclose(result.aggregated, [2.0, 3.0])
+        assert result.collective == "allreduce"
+        assert result.payload_bytes_per_worker == 2 * 4
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            allreduce_dense([np.zeros(3), np.zeros(4)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            allreduce_dense([])
+
+
+class TestAllgatherSparse:
+    def test_averages_sparse_contributions(self):
+        a = SparseGradient(indices=np.array([0]), values=np.array([2.0]), dense_size=3)
+        b = SparseGradient(indices=np.array([0, 2]), values=np.array([4.0, 6.0]), dense_size=3)
+        result = allgather_sparse([a, b])
+        assert np.allclose(result.aggregated, [3.0, 0.0, 3.0])
+        assert result.collective == "allgather"
+
+    def test_payload_is_largest_contribution(self):
+        a = SparseGradient(indices=np.array([0]), values=np.array([1.0]), dense_size=10)
+        b = SparseGradient(indices=np.array([0, 1, 2]), values=np.ones(3), dense_size=10)
+        result = allgather_sparse([a, b])
+        assert result.payload_bytes_per_worker == b.payload_bytes()
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            allgather_sparse([])
+
+    def test_matches_dense_allreduce_when_everything_sent(self, rng):
+        dense = [rng.normal(size=20) for _ in range(4)]
+        sparse = [SparseGradient(indices=np.arange(20), values=g, dense_size=20) for g in dense]
+        assert np.allclose(allgather_sparse(sparse).aggregated, allreduce_dense(dense).aggregated)

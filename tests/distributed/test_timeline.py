@@ -1,0 +1,92 @@
+"""Tests for the iteration-time model."""
+
+import numpy as np
+import pytest
+
+from repro.compressors import create_compressor
+from repro.distributed import NetworkModel, TimelineModel, compute_time_for_overhead
+from repro.gradients import realistic_gradient
+from repro.perfmodel import GPU_V100
+
+
+def _timeline(compute=0.01, workers=8, dim=1_000_000, scale=1.0, efficiency=1.0):
+    return TimelineModel(
+        network=NetworkModel(bandwidth_gbps=10.0, latency_s=1e-5, efficiency=efficiency),
+        device=GPU_V100,
+        compute_seconds=compute,
+        num_workers=workers,
+        model_dimension=dim,
+        dimension_scale=scale,
+    )
+
+
+class TestBaseline:
+    def test_components_positive(self):
+        timing = _timeline().baseline_iteration()
+        assert timing.compute == pytest.approx(0.01)
+        assert timing.compression == 0.0
+        assert timing.communication > 0.0
+        assert timing.total == pytest.approx(timing.compute + timing.communication)
+
+    def test_communication_overhead_fraction(self):
+        timeline = _timeline(compute=0.0)
+        assert timeline.communication_overhead_fraction() == pytest.approx(1.0)
+
+    def test_dimension_scale_multiplies_volume(self):
+        def comm(scale):
+            return TimelineModel(
+                network=NetworkModel(bandwidth_gbps=10.0, latency_s=0.0, efficiency=1.0),
+                device=GPU_V100,
+                compute_seconds=0.0,
+                num_workers=8,
+                model_dimension=1_000_000,
+                dimension_scale=scale,
+            ).baseline_iteration().communication
+
+        assert comm(10.0) == pytest.approx(10 * comm(1.0), rel=0.01)
+
+
+class TestCompressedIteration:
+    def test_compression_and_sparse_comm_accounted(self):
+        gradient = realistic_gradient(100_000, seed=0)
+        results = [create_compressor("topk").compress(gradient, 0.01) for _ in range(2)]
+        timing = _timeline(dim=100_000).compressed_iteration(results)
+        assert timing.compression > 0.0
+        assert timing.communication > 0.0
+
+    def test_compressed_faster_than_baseline_for_large_model(self):
+        gradient = realistic_gradient(100_000, seed=0)
+        results = [create_compressor("sidco-e").compress(gradient, 0.001)]
+        timeline = _timeline(compute=0.001, dim=100_000, scale=150.0)
+        assert timeline.compressed_iteration(results).total < timeline.baseline_iteration().total
+
+    def test_empty_worker_results_rejected(self):
+        with pytest.raises(ValueError):
+            _timeline().compressed_iteration([])
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            TimelineModel(NetworkModel(), GPU_V100, compute_seconds=-1.0, num_workers=2, model_dimension=10)
+        with pytest.raises(ValueError):
+            TimelineModel(NetworkModel(), GPU_V100, compute_seconds=0.0, num_workers=0, model_dimension=10)
+        with pytest.raises(ValueError):
+            TimelineModel(NetworkModel(), GPU_V100, compute_seconds=0.0, num_workers=2, model_dimension=10, dimension_scale=0.0)
+
+
+class TestComputeTimeForOverhead:
+    def test_roundtrip_through_timeline(self):
+        network = NetworkModel(bandwidth_gbps=10.0, latency_s=0.0, efficiency=1.0)
+        dim = 25_000_000
+        compute = compute_time_for_overhead(network, 8, dim, 0.72)
+        timeline = TimelineModel(network, GPU_V100, compute, 8, dim)
+        assert timeline.communication_overhead_fraction() == pytest.approx(0.72, rel=1e-6)
+
+    def test_higher_overhead_means_less_compute(self):
+        network = NetworkModel()
+        low = compute_time_for_overhead(network, 8, 10_000_000, 0.5)
+        high = compute_time_for_overhead(network, 8, 10_000_000, 0.9)
+        assert high < low
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            compute_time_for_overhead(NetworkModel(), 8, 100, 1.0)

@@ -1,0 +1,107 @@
+"""Integration tests for the distributed trainer."""
+
+import numpy as np
+import pytest
+
+from repro.data import make_blobs_classification
+from repro.distributed import DistributedTrainer, TrainerConfig, train_baseline_and_compressed
+from repro.gradients import GradientCapture
+from repro.nn import build_model
+from repro.optim import WarmupStepDecay
+
+
+def _dataset(seed=0):
+    return make_blobs_classification(num_examples=128, num_features=16, num_classes=4, seed=seed)
+
+
+def _model(seed=1):
+    return build_model("mlp", input_dim=16, hidden_dims=(32,), num_classes=4, seed=seed)
+
+
+def _config(**kwargs):
+    defaults = dict(num_workers=4, batch_size=8, iterations=30, ratio=0.01, lr=0.05, seed=0, compute_seconds=0.01)
+    defaults.update(kwargs)
+    return TrainerConfig(**defaults)
+
+
+class TestTrainingLoop:
+    def test_loss_decreases_with_compression(self):
+        trainer = DistributedTrainer(_model(), _dataset(), "sidco-e", _config())
+        result = trainer.run(evaluate_on=_dataset())
+        losses = result.metrics.losses
+        assert losses[-5:].mean() < losses[:5].mean()
+        assert result.final_evaluation["accuracy"] > 0.5
+
+    def test_metrics_recorded_every_iteration(self):
+        result = DistributedTrainer(_model(), _dataset(), "topk", _config(iterations=12)).run()
+        assert len(result.metrics) == 12
+        assert result.metrics.total_time > 0.0
+
+    def test_baseline_matches_target_ratio_one(self):
+        result = DistributedTrainer(_model(), _dataset(), "none", _config()).run()
+        assert np.allclose(result.metrics.achieved_ratios, 1.0)
+
+    def test_warmup_iterations_uncompressed(self):
+        config = _config(iterations=10, warmup_iterations=4, ratio=0.001)
+        result = DistributedTrainer(_model(), _dataset(), "topk", config).run()
+        ratios = result.metrics.achieved_ratios
+        assert np.allclose(ratios[:4], 1.0)
+        assert np.all(ratios[4:] < 0.01)
+
+    def test_capture_hook_receives_gradients(self):
+        capture = GradientCapture(iterations={2, 5}, normalize=False)
+        config = _config(iterations=8)
+        DistributedTrainer(_model(), _dataset(), "topk", config, capture=capture).run()
+        assert capture.captured_iterations == [2, 5]
+        assert capture.get(2).size == _model().num_parameters()
+
+    def test_scheduler_changes_learning_rate(self):
+        model = _model()
+        dataset = _dataset()
+        config = _config(iterations=10, lr=1.0)
+        trainer = DistributedTrainer(model, dataset, "topk", config)
+        trainer.scheduler = WarmupStepDecay(trainer.optimizer, warmup_iterations=5, decay_every=100)
+        result = trainer.run()
+        lrs = [r.learning_rate for r in result.metrics.records]
+        assert lrs[0] < lrs[4]
+
+    def test_compression_reduces_communication_time(self):
+        config = _config(iterations=10, ratio=0.001, dimension_scale=100.0)
+        compressed = DistributedTrainer(_model(), _dataset(), "sidco-e", config).run()
+        baseline = DistributedTrainer(_model(), _dataset(), "none", config).run()
+        assert (
+            compressed.metrics.component_breakdown()["communication"]
+            < baseline.metrics.component_breakdown()["communication"]
+        )
+
+    def test_error_feedback_improves_aggressive_compression(self):
+        # With EC off and very aggressive compression the model learns slower.
+        config_ec = _config(iterations=60, ratio=0.005, use_error_feedback=True, seed=3)
+        config_no = _config(iterations=60, ratio=0.005, use_error_feedback=False, seed=3)
+        with_ec = DistributedTrainer(_model(seed=5), _dataset(3), "topk", config_ec).run()
+        without = DistributedTrainer(_model(seed=5), _dataset(3), "topk", config_no).run()
+        assert with_ec.metrics.final_loss <= without.metrics.final_loss + 0.05
+
+    def test_estimation_quality_close_to_one_for_topk(self):
+        result = DistributedTrainer(_model(), _dataset(), "topk", _config()).run()
+        mean, _ = result.metrics.estimation_quality()
+        assert 0.8 < mean < 1.2
+
+
+class TestHelpers:
+    def test_train_baseline_and_compressed(self):
+        results = train_baseline_and_compressed(
+            _model, _dataset(), ["topk", "sidco-e"], _config(iterations=10)
+        )
+        assert set(results) == {"none", "topk", "sidco-e"}
+        assert all(len(r.metrics) == 10 for r in results.values())
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            TrainerConfig(num_workers=0)
+        with pytest.raises(ValueError):
+            TrainerConfig(ratio=0.0)
+        with pytest.raises(ValueError):
+            TrainerConfig(iterations=0)
+        with pytest.raises(ValueError):
+            TrainerConfig(warmup_iterations=-1)

@@ -1,0 +1,66 @@
+"""Tests for the simulated worker."""
+
+import numpy as np
+import pytest
+
+from repro.compressors import create_compressor
+from repro.data import BatchIterator, make_blobs_classification, shard_dataset
+from repro.distributed.worker import Worker
+from repro.nn import build_model
+
+
+def _worker(compressor="topk", use_ec=True, clip=None, seed=0):
+    dataset = make_blobs_classification(num_examples=64, num_features=8, num_classes=3, seed=seed)
+    model = build_model("mlp", input_dim=8, hidden_dims=(16,), num_classes=3, seed=seed)
+    batches = BatchIterator(dataset, batch_size=8, seed=seed)
+    return Worker(0, model, batches, create_compressor(compressor), use_error_feedback=use_ec, clip_norm=clip)
+
+
+class TestWorker:
+    def test_compute_gradient_shape(self):
+        worker = _worker()
+        loss, flat = worker.compute_gradient()
+        assert flat.shape == (worker.flat_spec.total_size,)
+        assert np.isfinite(loss)
+        assert np.any(flat != 0.0)
+
+    def test_step_returns_compression_result(self):
+        worker = _worker()
+        step = worker.step(0.1)
+        assert step.compression.target_ratio == 0.1
+        assert step.compression.sparse.dense_size == worker.flat_spec.total_size
+        assert step.gradient_norm > 0.0
+
+    def test_error_feedback_memory_updated(self):
+        worker = _worker(compressor="topk", use_ec=True)
+        worker.step(0.01)
+        assert np.count_nonzero(worker.error_feedback.memory) > 0
+
+    def test_no_error_feedback_option(self):
+        worker = _worker(use_ec=False)
+        assert worker.error_feedback is None
+        step = worker.step(0.1)
+        assert step.compression.achieved_k >= 1
+
+    def test_clip_norm_bounds_gradient(self):
+        worker = _worker(clip=0.001)
+        step = worker.step(1.0)
+        assert step.gradient_norm <= 0.001 + 1e-9
+
+    def test_reset_clears_state(self):
+        worker = _worker(compressor="sidco-e")
+        for _ in range(10):
+            worker.step(0.001)
+        worker.reset()
+        assert np.allclose(worker.error_feedback.memory, 0.0)
+        assert worker.compressor.num_stages == 1
+
+    def test_workers_on_different_shards_get_different_batches(self):
+        dataset = make_blobs_classification(num_examples=64, num_features=8, num_classes=3, seed=0)
+        shards = shard_dataset(dataset, 2, seed=0)
+        model = build_model("mlp", input_dim=8, hidden_dims=(16,), num_classes=3, seed=0)
+        w0 = Worker(0, model, BatchIterator(shards[0], 8, seed=1), create_compressor("topk"))
+        w1 = Worker(1, model, BatchIterator(shards[1], 8, seed=2), create_compressor("topk"))
+        _, g0 = w0.compute_gradient()
+        _, g1 = w1.compute_gradient()
+        assert not np.allclose(g0, g1)

@@ -1,0 +1,77 @@
+"""Tests for the gradient-analysis experiments (Figures 2, 7, 8 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.harness import compressibility_study, extract_traces, gradient_fit_study, run_benchmark
+
+
+@pytest.fixture(scope="module")
+def fit_study_no_ec():
+    return gradient_fit_study(
+        "resnet20-cifar10",
+        use_error_feedback=False,
+        capture_iterations=(3, 12),
+        iterations=15,
+        num_workers=2,
+        seed=0,
+    )
+
+
+class TestGradientFitStudy:
+    def test_snapshots_captured_at_requested_iterations(self, fit_study_no_ec):
+        assert sorted(fit_study_no_ec.snapshots) == [3, 12]
+        assert not fit_study_no_ec.use_error_feedback
+
+    def test_sids_fit_better_than_gaussian_tail(self, fit_study_no_ec):
+        # The KS distance of the best SID must be small enough to support
+        # Property 2 on the proxy gradients.
+        for report in fit_study_no_ec.fits.values():
+            best = min(
+                report.exponential.ks_statistic,
+                report.gamma.ks_statistic,
+                report.gpareto.ks_statistic,
+            )
+            assert best < 0.5
+
+    def test_best_sid_is_identified(self, fit_study_no_ec):
+        for report in fit_study_no_ec.fits.values():
+            assert report.best_sid() in {"exponential", "gamma", "gpareto"}
+
+    def test_gradients_are_compressible(self, fit_study_no_ec):
+        for report in fit_study_no_ec.compressibility.values():
+            assert report.decay_exponent > 0.3
+
+    def test_error_feedback_variant_runs(self):
+        study = gradient_fit_study(
+            "resnet20-cifar10",
+            use_error_feedback=True,
+            capture_iterations=(4,),
+            iterations=6,
+            num_workers=2,
+            seed=0,
+        )
+        assert study.use_error_feedback
+        assert 4 in study.snapshots
+
+
+class TestCompressibilityStudy:
+    def test_error_curves_decrease_in_k(self):
+        study = compressibility_study(
+            "resnet20-cifar10", capture_iterations=(2, 8), num_ks=20, num_workers=2, seed=0
+        )
+        for iteration in study.iterations:
+            curve = study.error_curves[iteration]
+            assert np.all(np.diff(curve) <= 1e-9)
+            assert curve[-1] == pytest.approx(0.0, abs=1e-9)
+
+
+class TestExtractTraces:
+    def test_trace_bundle_fields(self):
+        result = run_benchmark("resnet20-cifar10", "sidco-e", 0.01, num_workers=2, iterations=15, seed=0)
+        traces = extract_traces(result, window=5)
+        assert traces.compressor == "sidco-e"
+        assert traces.ratio == 0.01
+        assert len(traces.losses) == 15
+        assert len(traces.running_ratio) == 15 - 5 + 1
+        assert np.all(np.diff(traces.wall_times) > 0)

@@ -1,0 +1,58 @@
+"""Tests for the text reporting helpers."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.harness import format_series, format_speedup_summary, format_table
+
+
+@dataclass
+class Row:
+    compressor: str
+    speedup: float
+
+
+class TestFormatTable:
+    def test_renders_dicts(self):
+        text = format_table([{"a": 1, "b": 2.5}, {"a": 3, "b": 0.001}], title="demo")
+        assert "demo" in text
+        assert "a" in text.splitlines()[1]
+        assert len(text.splitlines()) == 5
+
+    def test_renders_dataclasses(self):
+        text = format_table([Row("topk", 1.0), Row("sidco-e", 41.7)])
+        assert "sidco-e" in text
+        assert "41.7" in text
+
+    def test_empty_rows(self):
+        assert "(no rows)" in format_table([])
+
+    def test_column_selection(self):
+        text = format_table([{"a": 1, "b": 2}], columns=["b"])
+        assert "a" not in text.splitlines()[0]
+
+    def test_rejects_unknown_row_type(self):
+        with pytest.raises(TypeError):
+            format_table([42])
+
+
+class TestFormatSeries:
+    def test_subsamples_long_series(self):
+        text = format_series("loss", range(100), range(100), max_points=5)
+        assert text.count("(") <= 10
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_series("x", [1, 2], [1])
+
+
+class TestSpeedupSummary:
+    def test_groups_by_ratio(self):
+        rows = [
+            {"compressor": "topk", "ratio": 0.01, "speedup_vs_baseline": 1.5, "throughput_vs_baseline": 2.0, "estimation_quality": 1.0},
+            {"compressor": "sidco-e", "ratio": 0.01, "speedup_vs_baseline": 5.0, "throughput_vs_baseline": 6.0, "estimation_quality": 1.0},
+        ]
+        text = format_speedup_summary(rows)
+        assert "ratio=0.01" in text
+        assert "sidco-e" in text

@@ -1,0 +1,44 @@
+"""Integration tests for the benchmark training-run harness (small scale)."""
+
+import pytest
+
+from repro.harness import compare_compressors, run_benchmark
+
+
+class TestRunBenchmark:
+    def test_single_run_produces_metrics_and_evaluation(self):
+        result = run_benchmark("resnet20-cifar10", "sidco-e", 0.01, num_workers=2, iterations=12, seed=0)
+        assert len(result.metrics) == 12
+        assert "accuracy" in result.final_evaluation
+        assert result.compressor_name == "sidco-e"
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(ValueError):
+            run_benchmark("alexnet", "topk", 0.01)
+
+
+class TestCompareCompressors:
+    @pytest.fixture(scope="class")
+    def comparison(self):
+        return compare_compressors(
+            "lstm-ptb", ("topk", "sidco-e"), (0.001,), num_workers=2, iterations=25, seed=0
+        )
+
+    def test_rows_cover_requested_grid(self, comparison):
+        assert {(r.compressor, r.ratio) for r in comparison.rows} == {("topk", 0.001), ("sidco-e", 0.001)}
+        assert comparison.baseline.compressor_name == "none"
+
+    def test_compression_beats_baseline_on_comm_bound_benchmark(self, comparison):
+        sidco = next(r for r in comparison.rows if r.compressor == "sidco-e")
+        assert sidco.throughput_vs_baseline > 2.0
+        assert sidco.speedup_vs_baseline > 1.0
+
+    def test_sidco_throughput_at_least_topk(self, comparison):
+        sidco = next(r for r in comparison.rows if r.compressor == "sidco-e")
+        topk = next(r for r in comparison.rows if r.compressor == "topk")
+        assert sidco.throughput_vs_baseline > topk.throughput_vs_baseline
+
+    def test_estimation_quality_ci_ordering(self, comparison):
+        for row in comparison.rows:
+            low, high = row.estimation_quality_ci
+            assert low <= row.estimation_quality <= high

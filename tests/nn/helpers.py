@@ -1,0 +1,71 @@
+"""Numerical gradient-checking helpers shared by the nn tests."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import cross_entropy
+from repro.nn.module import Module
+
+
+def numeric_gradient_check(
+    model: Module,
+    inputs: np.ndarray,
+    targets: np.ndarray,
+    *,
+    num_probes: int = 6,
+    eps: float = 1e-5,
+    seed: int = 0,
+) -> float:
+    """Compare analytic parameter gradients to central finite differences.
+
+    Returns the maximum relative error over randomly probed parameter entries.
+    """
+    model.zero_grad()
+    logits = model(inputs)
+    _, grad_logits = cross_entropy(logits, targets)
+    model.backward(grad_logits)
+
+    rng = np.random.default_rng(seed)
+    max_err = 0.0
+    for param in model.named_parameters().values():
+        flat = param.data.ravel()
+        grad_flat = param.grad.ravel()
+        probes = rng.choice(flat.size, size=min(num_probes, flat.size), replace=False)
+        for idx in probes:
+            original = flat[idx]
+            flat[idx] = original + eps
+            loss_plus, _ = cross_entropy(model(inputs), targets)
+            flat[idx] = original - eps
+            loss_minus, _ = cross_entropy(model(inputs), targets)
+            flat[idx] = original
+            numeric = (loss_plus - loss_minus) / (2.0 * eps)
+            denom = max(1e-7, abs(numeric) + abs(grad_flat[idx]))
+            max_err = max(max_err, abs(numeric - grad_flat[idx]) / denom)
+    return max_err
+
+
+def layer_input_gradient_check(layer, x: np.ndarray, *, eps: float = 1e-6, num_probes: int = 6, seed: int = 0) -> float:
+    """Check a single layer's input gradient against finite differences.
+
+    Uses the scalar objective ``0.5 * sum(layer(x)^2)`` whose gradient with
+    respect to the layer output is simply the output itself.
+    """
+    out = layer(x)
+    grad_input = layer.backward(out.copy())
+    rng = np.random.default_rng(seed)
+    flat_x = x.ravel()
+    flat_grad = grad_input.ravel()
+    max_err = 0.0
+    probes = rng.choice(flat_x.size, size=min(num_probes, flat_x.size), replace=False)
+    for idx in probes:
+        original = flat_x[idx]
+        flat_x[idx] = original + eps
+        loss_plus = 0.5 * float(np.sum(np.asarray(layer(x)) ** 2))
+        flat_x[idx] = original - eps
+        loss_minus = 0.5 * float(np.sum(np.asarray(layer(x)) ** 2))
+        flat_x[idx] = original
+        numeric = (loss_plus - loss_minus) / (2.0 * eps)
+        denom = max(1e-7, abs(numeric) + abs(flat_grad[idx]))
+        max_err = max(max_err, abs(numeric - flat_grad[idx]) / denom)
+    return max_err

@@ -1,0 +1,107 @@
+"""Tests for dense layers and activations."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Dropout, Flatten, Linear, ReLU, Sequential, Sigmoid, Tanh
+
+from .helpers import layer_input_gradient_check
+
+
+class TestLinear:
+    def test_forward_shape_and_bias(self, rng):
+        layer = Linear(5, 3, rng=rng)
+        out = layer(rng.normal(size=(7, 5)))
+        assert out.shape == (7, 3)
+
+    def test_no_bias_option(self, rng):
+        layer = Linear(5, 3, bias=False, rng=rng)
+        assert layer.bias is None
+        assert len([p for p in layer.parameters()]) == 1
+
+    def test_input_gradient(self, rng):
+        layer = Linear(6, 4, rng=rng)
+        err = layer_input_gradient_check(layer, rng.normal(size=(3, 6)))
+        assert err < 1e-5
+
+    def test_parameter_gradients_accumulate(self, rng):
+        layer = Linear(4, 2, rng=rng)
+        x = rng.normal(size=(3, 4))
+        layer(x)
+        layer.backward(np.ones((3, 2)))
+        first = layer.weight.grad.copy()
+        layer(x)
+        layer.backward(np.ones((3, 2)))
+        assert np.allclose(layer.weight.grad, 2 * first)
+
+    def test_backward_before_forward_rejected(self):
+        with pytest.raises(RuntimeError):
+            Linear(2, 2).backward(np.ones((1, 2)))
+
+
+@pytest.mark.parametrize("activation_cls", [ReLU, Tanh, Sigmoid])
+class TestActivations:
+    def test_input_gradient(self, activation_cls, rng):
+        layer = activation_cls()
+        err = layer_input_gradient_check(layer, rng.normal(size=(4, 5)))
+        assert err < 1e-5
+
+    def test_backward_before_forward_rejected(self, activation_cls):
+        with pytest.raises(RuntimeError):
+            activation_cls().backward(np.ones((1, 2)))
+
+
+class TestReLU:
+    def test_zeroes_negatives(self):
+        out = ReLU()(np.array([[-1.0, 2.0, 0.0]]))
+        assert np.allclose(out, [[0.0, 2.0, 0.0]])
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self, rng):
+        layer = Dropout(0.5, rng=rng)
+        layer.eval()
+        x = rng.normal(size=(4, 4))
+        assert np.allclose(layer(x), x)
+
+    def test_training_mode_scales_survivors(self, rng):
+        layer = Dropout(0.5, rng=np.random.default_rng(0))
+        x = np.ones((2000,))
+        out = layer(x)
+        survivors = out[out != 0.0]
+        assert np.allclose(survivors, 2.0)  # inverted dropout scaling
+        assert 0.3 < survivors.size / x.size < 0.7
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+    def test_backward_masks_gradient(self, rng):
+        layer = Dropout(0.5, rng=np.random.default_rng(1))
+        x = rng.normal(size=(10, 10))
+        out = layer(x)
+        grad = layer.backward(np.ones_like(out))
+        assert np.allclose(grad[out == 0.0], 0.0)
+
+
+class TestFlattenAndSequential:
+    def test_flatten_roundtrip(self, rng):
+        layer = Flatten()
+        x = rng.normal(size=(3, 2, 4))
+        out = layer(x)
+        assert out.shape == (3, 8)
+        back = layer.backward(out)
+        assert back.shape == x.shape
+
+    def test_sequential_indexing_and_append(self, rng):
+        model = Sequential(Linear(4, 3, rng=rng))
+        model.append(ReLU())
+        assert len(model) == 2
+        assert isinstance(model[1], ReLU)
+
+    def test_sequential_forward_backward_chain(self, rng):
+        model = Sequential(Linear(4, 8, rng=rng), ReLU(), Linear(8, 2, rng=rng))
+        x = rng.normal(size=(5, 4))
+        out = model(x)
+        grad_in = model.backward(np.ones_like(out))
+        assert grad_in.shape == x.shape

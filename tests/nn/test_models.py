@@ -1,0 +1,87 @@
+"""Tests for the proxy models, including end-to-end gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.nn import build_model, cross_entropy
+from repro.optim import SGD
+
+from .helpers import numeric_gradient_check
+
+
+class TestBuildModel:
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            build_model("transformer")
+
+    def test_known_names_constructed(self):
+        assert build_model("mlp", input_dim=8, num_classes=3).num_parameters() > 0
+        assert build_model("cnn", image_size=8, channels=(4,), num_classes=3).num_parameters() > 0
+
+
+class TestGradients:
+    def test_mlp_gradients(self, rng):
+        model = build_model("mlp", input_dim=10, hidden_dims=(8,), num_classes=4, seed=0)
+        err = numeric_gradient_check(model, rng.normal(size=(5, 10)), rng.integers(0, 4, size=5))
+        assert err < 1e-4
+
+    def test_cnn_gradients(self, rng):
+        model = build_model("cnn", in_channels=2, image_size=8, channels=(3,), num_classes=4, seed=0)
+        err = numeric_gradient_check(model, rng.normal(size=(3, 2, 8, 8)), rng.integers(0, 4, size=3))
+        assert err < 1e-4
+
+    def test_resnet_gradients(self, rng):
+        model = build_model("resnet", in_channels=2, num_blocks=1, width=4, num_classes=3, seed=0)
+        err = numeric_gradient_check(model, rng.normal(size=(2, 2, 8, 8)), rng.integers(0, 3, size=2))
+        assert err < 1e-4
+
+    def test_lstm_lm_gradients(self, rng):
+        model = build_model("lstm_lm", vocab_size=12, embedding_dim=5, hidden_size=6, num_layers=2, seed=0)
+        tokens = rng.integers(0, 12, size=(2, 5))
+        targets = rng.integers(0, 12, size=(2, 5))
+        err = numeric_gradient_check(model, tokens, targets, eps=1e-5)
+        assert err < 5e-3  # tiny LSTM gradients make finite differences noisy
+
+    def test_lstm_seq_gradients(self, rng):
+        model = build_model("lstm_seq", input_dim=4, hidden_size=6, num_layers=1, num_classes=3, seed=0)
+        err = numeric_gradient_check(model, rng.normal(size=(3, 6, 4)), rng.integers(0, 3, size=3))
+        assert err < 1e-3
+
+
+class TestTrainability:
+    """A few steps of SGD on a tiny dataset must reduce the loss."""
+
+    def _loss_drop(self, model, inputs, targets, lr=0.1, steps=30):
+        optimizer = SGD(model, lr=lr)
+        first = None
+        last = None
+        for _ in range(steps):
+            model.zero_grad()
+            logits = model(inputs)
+            loss, grad = cross_entropy(logits, targets)
+            model.backward(grad)
+            optimizer.step()
+            first = loss if first is None else first
+            last = loss
+        return first, last
+
+    def test_mlp_learns(self, rng):
+        model = build_model("mlp", input_dim=6, hidden_dims=(16,), num_classes=3, seed=1)
+        inputs = rng.normal(size=(32, 6))
+        targets = rng.integers(0, 3, size=32)
+        first, last = self._loss_drop(model, inputs, targets)
+        assert last < first
+
+    def test_cnn_learns(self, rng):
+        model = build_model("cnn", in_channels=1, image_size=8, channels=(4,), num_classes=2, seed=1)
+        inputs = rng.normal(size=(16, 1, 8, 8))
+        targets = rng.integers(0, 2, size=16)
+        first, last = self._loss_drop(model, inputs, targets, lr=0.05)
+        assert last < first
+
+    def test_lstm_lm_learns(self, rng):
+        model = build_model("lstm_lm", vocab_size=10, embedding_dim=8, hidden_size=12, num_layers=1, seed=1)
+        tokens = rng.integers(0, 10, size=(8, 6))
+        targets = np.roll(tokens, -1, axis=1)
+        first, last = self._loss_drop(model, tokens, targets, lr=0.5, steps=40)
+        assert last < first

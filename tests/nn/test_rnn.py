@@ -1,0 +1,93 @@
+"""Tests for the embedding and LSTM layers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import LSTM, Embedding
+
+
+class TestEmbedding:
+    def test_lookup_shape(self, rng):
+        emb = Embedding(10, 4, rng=rng)
+        ids = rng.integers(0, 10, size=(3, 5))
+        out = emb(ids)
+        assert out.shape == (3, 5, 4)
+        assert np.allclose(out[0, 0], emb.weight.data[ids[0, 0]])
+
+    def test_out_of_range_rejected(self, rng):
+        emb = Embedding(10, 4, rng=rng)
+        with pytest.raises(ValueError):
+            emb(np.array([[10]]))
+
+    def test_backward_accumulates_per_token(self, rng):
+        emb = Embedding(5, 3, rng=rng)
+        ids = np.array([[0, 0, 2]])
+        emb(ids)
+        emb.backward(np.ones((1, 3, 3)))
+        assert np.allclose(emb.weight.grad[0], 2.0)  # token 0 appears twice
+        assert np.allclose(emb.weight.grad[2], 1.0)
+        assert np.allclose(emb.weight.grad[1], 0.0)
+
+    def test_backward_before_forward_rejected(self, rng):
+        with pytest.raises(RuntimeError):
+            Embedding(5, 3, rng=rng).backward(np.ones((1, 1, 3)))
+
+
+class TestLSTM:
+    def test_output_shape(self, rng):
+        lstm = LSTM(6, 8, num_layers=2, rng=rng)
+        out = lstm(rng.normal(size=(4, 7, 6)))
+        assert out.shape == (4, 7, 8)
+
+    def test_rejects_wrong_rank(self, rng):
+        with pytest.raises(ValueError):
+            LSTM(4, 4)(rng.normal(size=(3, 4)))
+
+    def test_rejects_zero_layers(self):
+        with pytest.raises(ValueError):
+            LSTM(4, 4, num_layers=0)
+
+    def test_parameter_count(self):
+        hidden, inp = 8, 6
+        lstm = LSTM(inp, hidden, num_layers=2)
+        expected_l0 = 4 * hidden * inp + 4 * hidden * hidden + 4 * hidden
+        expected_l1 = 4 * hidden * hidden + 4 * hidden * hidden + 4 * hidden
+        assert lstm.num_parameters() == expected_l0 + expected_l1
+
+    def test_hidden_state_bounded_by_tanh(self, rng):
+        lstm = LSTM(4, 6, rng=rng)
+        out = lstm(rng.normal(size=(2, 20, 4)) * 10.0)
+        assert np.all(np.abs(out) <= 1.0 + 1e-9)
+
+    def test_sequence_dependence(self, rng):
+        # Permuting time steps must change the final hidden state.
+        lstm = LSTM(3, 5, rng=rng)
+        x = rng.normal(size=(1, 6, 3))
+        out_a = lstm(x)[:, -1, :].copy()
+        out_b = lstm(x[:, ::-1, :])[:, -1, :]
+        assert not np.allclose(out_a, out_b)
+
+    def test_input_gradient_numerically(self, rng):
+        lstm = LSTM(3, 4, num_layers=2, rng=rng)
+        x = rng.normal(size=(2, 5, 3))
+        out = lstm(x)
+        grad_in = lstm.backward(out.copy())
+
+        eps = 1e-6
+        max_err = 0.0
+        probes = [(0, 1, 2), (1, 4, 0), (0, 0, 1), (1, 2, 2)]
+        for n, t, f in probes:
+            original = x[n, t, f]
+            x[n, t, f] = original + eps
+            loss_plus = 0.5 * float(np.sum(lstm(x) ** 2))
+            x[n, t, f] = original - eps
+            loss_minus = 0.5 * float(np.sum(lstm(x) ** 2))
+            x[n, t, f] = original
+            numeric = (loss_plus - loss_minus) / (2 * eps)
+            denom = max(1e-7, abs(numeric) + abs(grad_in[n, t, f]))
+            max_err = max(max_err, abs(numeric - grad_in[n, t, f]) / denom)
+        assert max_err < 1e-4
+
+    def test_backward_before_forward_rejected(self, rng):
+        with pytest.raises(RuntimeError):
+            LSTM(3, 4, rng=rng).backward(np.zeros((1, 2, 4)))

@@ -1,0 +1,63 @@
+"""Tests for learning-rate schedules."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Linear, Sequential
+from repro.optim import SGD, ConstantLR, CosineAnnealing, WarmupStepDecay
+
+
+def _optimizer(lr=1.0):
+    return SGD(Sequential(Linear(2, 2)), lr=lr)
+
+
+class TestConstantLR:
+    def test_never_changes(self):
+        sched = ConstantLR(_optimizer(0.3))
+        assert all(sched.step() == pytest.approx(0.3) for _ in range(5))
+
+
+class TestWarmupStepDecay:
+    def test_linear_warmup(self):
+        sched = WarmupStepDecay(_optimizer(1.0), warmup_iterations=4, decay_every=100)
+        lrs = [sched.step() for _ in range(4)]
+        assert lrs == pytest.approx([0.25, 0.5, 0.75, 1.0])
+
+    def test_step_decay_after_warmup(self):
+        sched = WarmupStepDecay(_optimizer(1.0), warmup_iterations=0, decay_every=2, decay_factor=0.1)
+        lrs = [sched.step() for _ in range(6)]
+        assert lrs == pytest.approx([1.0, 1.0, 0.1, 0.1, 0.01, 0.01])
+
+    def test_applies_to_optimizer(self):
+        opt = _optimizer(1.0)
+        sched = WarmupStepDecay(opt, warmup_iterations=2, decay_every=10)
+        sched.step()
+        assert opt.lr == pytest.approx(0.5)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"warmup_iterations": -1, "decay_every": 1},
+        {"warmup_iterations": 0, "decay_every": 0},
+        {"warmup_iterations": 0, "decay_every": 1, "decay_factor": 0.0},
+    ])
+    def test_invalid_config_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            WarmupStepDecay(_optimizer(), **kwargs)
+
+
+class TestCosineAnnealing:
+    def test_starts_at_base_and_ends_at_min(self):
+        sched = CosineAnnealing(_optimizer(1.0), total_iterations=10, min_lr=0.1)
+        lrs = [sched.step() for _ in range(11)]
+        assert lrs[0] == pytest.approx(1.0)
+        assert lrs[-1] == pytest.approx(0.1)
+        assert all(a >= b - 1e-12 for a, b in zip(lrs, lrs[1:]))
+
+    def test_midpoint_is_halfway(self):
+        sched = CosineAnnealing(_optimizer(1.0), total_iterations=10, min_lr=0.0)
+        assert sched.lr_at(5) == pytest.approx(0.5)
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            CosineAnnealing(_optimizer(), total_iterations=0)
+        with pytest.raises(ValueError):
+            CosineAnnealing(_optimizer(), total_iterations=5, min_lr=-0.1)

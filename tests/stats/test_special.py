@@ -1,0 +1,73 @@
+"""Tests for repro.stats.special."""
+
+import numpy as np
+import pytest
+from scipy import stats as sps
+
+from repro.stats import special
+
+
+class TestBasicFunctions:
+    def test_log_gamma_matches_factorial(self):
+        # Gamma(n) = (n-1)! for integer n.
+        assert np.isclose(special.log_gamma(5.0), np.log(24.0))
+
+    def test_digamma_recurrence(self):
+        # psi(x+1) = psi(x) + 1/x
+        x = 2.7
+        assert np.isclose(special.digamma(x + 1.0), special.digamma(x) + 1.0 / x)
+
+    def test_incomplete_gamma_roundtrip(self):
+        a, p = 0.8, 0.95
+        x = special.inv_reg_lower_incomplete_gamma(a, p)
+        assert np.isclose(special.reg_lower_incomplete_gamma(a, x), p)
+
+
+class TestGammaQuantiles:
+    def test_exact_quantile_matches_scipy(self):
+        alpha, beta, delta = 0.7, 2.0, 0.01
+        eta = special.gamma_quantile_exact(alpha, beta, delta)
+        assert np.isclose(eta, sps.gamma.ppf(1.0 - delta, alpha, scale=beta), rtol=1e-10)
+
+    def test_approx_upper_bounds_exact_for_small_alpha(self):
+        alpha, beta, delta = 0.6, 1.5, 0.001
+        exact = special.gamma_quantile_exact(alpha, beta, delta)
+        approx = special.gamma_quantile_upper_tail_approx(alpha, beta, delta)
+        assert approx >= exact
+        # ... and is reasonably tight at aggressive ratios.
+        assert approx <= exact * 1.5
+
+    def test_approx_exact_at_alpha_one(self):
+        # alpha=1 gamma is exponential; the approximation is exact there.
+        beta, delta = 3.0, 0.01
+        exact = special.gamma_quantile_exact(1.0, beta, delta)
+        approx = special.gamma_quantile_upper_tail_approx(1.0, beta, delta)
+        assert np.isclose(exact, approx, rtol=1e-9)
+
+    @pytest.mark.parametrize("delta", [0.0, 1.0, -0.1, 1.5])
+    def test_invalid_delta_rejected(self, delta):
+        with pytest.raises(ValueError):
+            special.gamma_quantile_upper_tail_approx(0.5, 1.0, delta)
+        with pytest.raises(ValueError):
+            special.gamma_quantile_exact(0.5, 1.0, delta)
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            special.gamma_quantile_upper_tail_approx(0.5, -1.0, 0.1)
+        with pytest.raises(ValueError):
+            special.gamma_quantile_exact(-0.5, 1.0, 0.1)
+
+
+class TestShapeEstimators:
+    def test_minka_close_to_mle(self):
+        rng = np.random.default_rng(0)
+        sample = rng.gamma(0.7, 2.0, size=200_000)
+        s = np.log(sample.mean()) - np.log(sample).mean()
+        minka = special.minka_gamma_shape(s)
+        mle = special.gamma_shape_mle(sample.mean(), np.log(sample).mean())
+        assert abs(minka - mle) / mle < 0.02
+        assert abs(mle - 0.7) < 0.05
+
+    def test_degenerate_sample_capped(self):
+        assert special.minka_gamma_shape(0.0) == pytest.approx(1e6)
+        assert special.gamma_shape_mle(1.0, np.log(1.0)) == pytest.approx(1e6)

@@ -1,0 +1,33 @@
+"""Tests for the top-level public API surface."""
+
+import repro
+from repro import (
+    PAPER_COMPRESSORS,
+    SIDCO_VARIANTS,
+    SIDCo,
+    SparseGradient,
+    available_compressors,
+    create_compressor,
+)
+
+
+class TestPublicAPI:
+    def test_version_string(self):
+        assert isinstance(repro.__version__, str)
+        assert repro.__version__.count(".") == 2
+
+    def test_all_exports_resolvable(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_paper_lineup_exposed(self):
+        assert "sidco-e" in PAPER_COMPRESSORS
+        assert set(SIDCO_VARIANTS) <= set(available_compressors())
+
+    def test_quickstart_flow(self, small_gradient):
+        # The README's three-line quickstart must keep working.
+        compressor = create_compressor("sidco-e")
+        result = compressor.compress(small_gradient, 0.01)
+        assert isinstance(compressor, SIDCo)
+        assert isinstance(result.sparse, SparseGradient)
+        assert 0.0 < result.achieved_ratio < 0.2

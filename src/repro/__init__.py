@@ -20,14 +20,18 @@ from .compressors import (
     create_compressor,
 )
 from .core import SIDCo, StageController, StageControllerConfig
+from .pipeline import DEFAULT_BUCKET_BYTES, BucketLayout, CompressionPipeline
 from .tensor import SparseGradient
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "DEFAULT_BUCKET_BYTES",
     "PAPER_COMPRESSORS",
     "SIDCO_VARIANTS",
+    "BucketLayout",
     "Compressor",
+    "CompressionPipeline",
     "CompressionResult",
     "SIDCo",
     "SparseGradient",

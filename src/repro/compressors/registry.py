@@ -28,6 +28,22 @@ def _sidco_factory(variant: str) -> Callable[..., Compressor]:
     return factory
 
 
+def _bucketed_sidco_factory(variant: str) -> Callable[..., Compressor]:
+    """Bucketed-pipeline SIDCo with the vectorized batched fitting fast path."""
+
+    def factory(*, bucket_bytes: int | None = None, vectorized: bool = True, **kwargs) -> Compressor:
+        from ..core.sidco import SIDCo
+        from ..pipeline import DEFAULT_BUCKET_BYTES, CompressionPipeline
+
+        return CompressionPipeline(
+            SIDCo.from_variant(variant, **kwargs),
+            bucket_bytes=DEFAULT_BUCKET_BYTES if bucket_bytes is None else bucket_bytes,
+            vectorized=vectorized,
+        )
+
+    return factory
+
+
 _REGISTRY: dict[str, Callable[..., Compressor]] = {
     "none": NoCompression,
     "topk": TopK,
@@ -39,6 +55,9 @@ _REGISTRY: dict[str, Callable[..., Compressor]] = {
     "sidco-e": _sidco_factory("sidco-e"),
     "sidco-gp": _sidco_factory("sidco-gp"),
     "sidco-p": _sidco_factory("sidco-p"),
+    "sidco-e-bucketed": _bucketed_sidco_factory("sidco-e"),
+    "sidco-gp-bucketed": _bucketed_sidco_factory("sidco-gp"),
+    "sidco-p-bucketed": _bucketed_sidco_factory("sidco-p"),
 }
 
 #: The compressor line-up of the paper's main figures, in plotting order.

@@ -87,6 +87,20 @@ class SIDCo(Compressor):
         target_k = self._target_k(d, ratio)
 
         abs_grad = np.abs(arr)
+        if d < 2 or float(abs_grad.max()) == 0.0:
+            # Degenerate input (single element, or no tail at all): there is
+            # nothing to fit, so fall back to an exact-k selection instead of
+            # handing the SID fitters an empty/ill-posed sample.
+            result = self._result_from_topk(
+                arr,
+                target_k,
+                ratio,
+                ops=[_abs_pass(d)],
+                metadata={"sid": self.sid, "degenerate": True},
+            )
+            self.controller.observe(result.achieved_k, target_k)
+            return result
+
         estimate = estimate_multi_stage(
             abs_grad,
             ratio,

@@ -74,18 +74,50 @@ class TimelineModel:
         )
 
     def compressed_iteration(self, worker_results: list[CompressionResult]) -> IterationTiming:
-        """Iteration timing for a set of per-worker compression results."""
+        """Iteration timing for a set of per-worker compression results.
+
+        When every worker's result carries per-bucket payload sizes (the
+        bucketed pipeline records them in ``metadata["bucket_payload_bytes"]``),
+        communication is priced bucket by bucket: one all-gather per bucket,
+        each bounded by the slowest worker's payload for that bucket.  This is
+        how DDP-style stacks actually ship gradients, and it is the structure
+        later compute/communication overlap modelling needs.
+        """
         if not worker_results:
             raise ValueError("need at least one worker result")
         compression = max(self.device.trace_cost(self._scaled_ops(r)) for r in worker_results)
-        payload = max(r.sparse.payload_bytes() for r in worker_results) * self.dimension_scale
-        comm = self.network.allgather_time(payload, self.num_workers)
+        bucket_times = self.bucket_communication_times(worker_results)
+        if bucket_times is not None:
+            comm = float(sum(bucket_times))
+        else:
+            payload = max(r.sparse.payload_bytes() for r in worker_results) * self.dimension_scale
+            comm = self.network.allgather_time(payload, self.num_workers)
         return IterationTiming(
             compute=self.compute_seconds,
             compression=compression,
             communication=comm,
             update=self.update_seconds,
         )
+
+    def bucket_communication_times(
+        self, worker_results: list[CompressionResult]
+    ) -> list[float] | None:
+        """Per-bucket all-gather times, or ``None`` if the results are unbucketed.
+
+        Bucket ``i`` of the synchronous all-gather completes when the slowest
+        worker's bucket-``i`` payload has made it around the ring, so each
+        bucket is priced at the per-bucket maximum across workers.
+        """
+        payload_lists = [r.metadata.get("bucket_payload_bytes") for r in worker_results]
+        if any(p is None for p in payload_lists):
+            return None
+        if len({len(p) for p in payload_lists}) != 1:
+            return None
+        per_bucket_max = (max(worker[i] for worker in payload_lists) for i in range(len(payload_lists[0])))
+        return [
+            self.network.allgather_time(payload * self.dimension_scale, self.num_workers)
+            for payload in per_bucket_max
+        ]
 
     def _scaled_ops(self, result: CompressionResult):
         if self.dimension_scale == 1.0:

@@ -32,6 +32,7 @@ from ..optim.lr_scheduler import LRScheduler
 from ..optim.sgd import SGD
 from ..perfmodel.costs import DeviceProfile
 from ..perfmodel.device import GPU_V100
+from ..pipeline import CompressionPipeline
 from ..tensor.flatten import unflatten
 from ..tensor.sparse import SparseGradient
 from .collectives import allgather_sparse, allreduce_dense
@@ -59,6 +60,10 @@ class TrainerConfig:
     seed: int = 0
     compute_seconds: float = 0.01
     dimension_scale: float = 1.0
+    #: When set, each worker's compressor runs inside a bucketed
+    #: :class:`~repro.pipeline.CompressionPipeline` with this many bytes per
+    #: bucket, and the timeline prices communication per bucket.
+    bucket_bytes: int | None = None
 
     def __post_init__(self) -> None:
         if self.num_workers < 1:
@@ -71,6 +76,8 @@ class TrainerConfig:
             raise ValueError("warmup_iterations must be non-negative")
         if self.compute_seconds < 0.0:
             raise ValueError("compute_seconds must be non-negative")
+        if self.bucket_bytes is not None and self.bucket_bytes < 1:
+            raise ValueError("bucket_bytes must be positive when set")
 
 
 @dataclass
@@ -107,7 +114,7 @@ class DistributedTrainer:
         shards = shard_dataset(dataset, config.num_workers, seed=config.seed)
         self.workers: list[Worker] = []
         for worker_id, shard in enumerate(shards):
-            comp = self._make_compressor(compressor, compressor_kwargs)
+            comp = self._make_compressor(compressor, compressor_kwargs, config.bucket_bytes)
             batches = BatchIterator(shard, config.batch_size, seed=config.seed + 101 * worker_id)
             self.workers.append(
                 Worker(
@@ -144,12 +151,24 @@ class DistributedTrainer:
         self._warmup_compressor = NoCompression()
 
     @staticmethod
-    def _make_compressor(compressor: str | Compressor, kwargs: dict | None) -> Compressor:
+    def _make_compressor(
+        compressor: str | Compressor, kwargs: dict | None, bucket_bytes: int | None = None
+    ) -> Compressor:
         if isinstance(compressor, Compressor):
             # A shared instance would entangle per-worker adaptive state, so a
             # pre-built compressor is only allowed for single-worker runs.
-            return compressor
-        return create_compressor(compressor, **(kwargs or {}))
+            built = compressor
+        else:
+            built = create_compressor(compressor, **(kwargs or {}))
+        if bucket_bytes is None or isinstance(built, NoCompression):
+            # The dense baseline all-reduces one fused buffer regardless.
+            return built
+        if isinstance(built, CompressionPipeline):
+            # Already bucketed (e.g. a "sidco-*-bucketed" registry name): the
+            # trainer config's bucket size wins over the factory default.
+            built.bucket_bytes = int(bucket_bytes)
+            return built
+        return CompressionPipeline(built, bucket_bytes=bucket_bytes)
 
     # -- training ---------------------------------------------------------------
 

@@ -55,6 +55,11 @@ class BenchmarkConfig:
     proxy_momentum: float = 0.0
     proxy_nesterov: bool = False
     proxy_clip_norm: float | None = None
+    #: Bucketed-pipeline knob: bytes per gradient bucket (DDP-style).  ``None``
+    #: compresses the whole flattened gradient as one tensor; a value wraps
+    #: each worker's compressor in :class:`repro.pipeline.CompressionPipeline`
+    #: and prices communication per bucket.
+    bucket_bytes: int | None = None
 
     def build_proxy_model(self, *, seed: int = 1):
         """Instantiate a freshly initialised proxy model."""
@@ -80,6 +85,20 @@ class BenchmarkConfig:
         model = self.build_proxy_model()
         proxy_dim = model.num_parameters()
         return self.full_dimension / proxy_dim
+
+    def proxy_bucket_bytes(self, full_scale_bytes: int | None = None) -> int | None:
+        """Bucket byte budget rescaled to the proxy's gradient dimension.
+
+        Bucket budgets are always stated against the full-size model
+        (``full_scale_bytes`` overrides this config's ``bucket_bytes``); the
+        proxy trains a much smaller gradient, so the budget shrinks by the
+        dimension scale to keep the *number* of buckets (and hence the
+        per-bucket communication structure) the same as at full size.
+        """
+        budget = self.bucket_bytes if full_scale_bytes is None else full_scale_bytes
+        if budget is None:
+            return None
+        return max(int(round(budget / self.dimension_scale())), 4)
 
 
 def _lm_config() -> BenchmarkConfig:

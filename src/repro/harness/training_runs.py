@@ -66,6 +66,7 @@ def _trainer_config(
     iterations: int | None,
     seed: int,
     network: NetworkModel,
+    bucket_bytes: int | None = None,
 ) -> TrainerConfig:
     return TrainerConfig(
         num_workers=num_workers,
@@ -80,6 +81,7 @@ def _trainer_config(
         seed=seed,
         compute_seconds=config.compute_seconds(network, num_workers),
         dimension_scale=config.dimension_scale(),
+        bucket_bytes=config.proxy_bucket_bytes(bucket_bytes),
     )
 
 
@@ -94,13 +96,21 @@ def run_benchmark(
     network: NetworkModel = CLUSTER_ETHERNET_10G,
     device: DeviceProfile = GPU_V100,
     capture: GradientCapture | None = None,
+    bucket_bytes: int | None = None,
 ) -> TrainingRunResult:
-    """Train one Table 1 proxy benchmark with one compressor and evaluate it."""
+    """Train one Table 1 proxy benchmark with one compressor and evaluate it.
+
+    ``bucket_bytes`` switches the run onto the bucketed compression pipeline.
+    Like ``BenchmarkConfig.bucket_bytes`` (its default), it is stated in
+    full-size-model bytes per gradient bucket and rescaled to the proxy's
+    dimension automatically.
+    """
     config = benchmark if isinstance(benchmark, BenchmarkConfig) else get_benchmark(benchmark)
     dataset = config.build_proxy_dataset(seed=seed)
     model = config.build_proxy_model(seed=seed + 1)
     trainer_cfg = _trainer_config(
-        config, ratio, num_workers=num_workers, iterations=iterations, seed=seed, network=network
+        config, ratio, num_workers=num_workers, iterations=iterations, seed=seed, network=network,
+        bucket_bytes=bucket_bytes,
     )
     trainer = DistributedTrainer(
         model,
@@ -124,12 +134,13 @@ def compare_compressors(
     seed: int = 0,
     network: NetworkModel = CLUSTER_ETHERNET_10G,
     device: DeviceProfile = GPU_V100,
+    bucket_bytes: int | None = None,
 ) -> BenchmarkComparison:
     """Run one benchmark for every (compressor, ratio) pair plus the dense baseline."""
     config = benchmark if isinstance(benchmark, BenchmarkConfig) else get_benchmark(benchmark)
     baseline = run_benchmark(
         config, "none", 1.0, num_workers=num_workers, iterations=iterations, seed=seed,
-        network=network, device=device,
+        network=network, device=device, bucket_bytes=bucket_bytes,
     )
     baseline_quality = _quality_from_evaluation(config, baseline.final_evaluation)
     baseline_rate = baseline_quality / max(baseline.metrics.total_time, 1e-12)
@@ -140,7 +151,7 @@ def compare_compressors(
         for ratio in ratios:
             result = run_benchmark(
                 config, name, ratio, num_workers=num_workers, iterations=iterations, seed=seed,
-                network=network, device=device,
+                network=network, device=device, bucket_bytes=bucket_bytes,
             )
             quality = _quality_from_evaluation(config, result.final_evaluation)
             rate = quality / max(result.metrics.total_time, 1e-12)

@@ -5,6 +5,7 @@ from .device import CPU_XEON, DEVICES, GPU_V100, get_device
 from .estimator import (
     DEFAULT_SAMPLE_CAP,
     LatencyEstimate,
+    compression_throughput,
     estimate_latency,
     estimate_latency_for_dimension,
     latency_breakdown,
@@ -21,6 +22,7 @@ __all__ = [
     "DeviceProfile",
     "LatencyEstimate",
     "breakdown",
+    "compression_throughput",
     "estimate_latency",
     "estimate_latency_for_dimension",
     "get_device",

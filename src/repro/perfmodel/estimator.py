@@ -31,6 +31,20 @@ def latency_breakdown(result: CompressionResult, device: DeviceProfile) -> CostB
     return breakdown(result.ops, device)
 
 
+def compression_throughput(result: CompressionResult, device: DeviceProfile) -> float:
+    """Modelled compression throughput (dense elements/second) on ``device``.
+
+    The bucketed pipeline's batched fast path emits one fused trace for all
+    buckets while the per-bucket loop emits one trace per bucket (paying the
+    launch overhead per bucket), so this is the number that exposes the
+    vectorisation win inside the cost model as well as on the wall clock.
+    """
+    seconds = device.trace_cost(result.ops)
+    if seconds <= 0.0:
+        return float("inf")
+    return result.sparse.dense_size / seconds
+
+
 @dataclass(frozen=True)
 class LatencyEstimate:
     """Latency of one compressor at one dimension/ratio on one device."""

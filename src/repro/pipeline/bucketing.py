@@ -1,0 +1,122 @@
+"""Fixed-size gradient bucketing (DDP-style).
+
+Real data-parallel stacks (Horovod fusion buffers, PyTorch DDP gradient
+buckets) never communicate the whole flattened gradient at once: the gradient
+is split into fixed-size buckets that are compressed and shipped as soon as
+they are ready, which bounds allocator pressure and lets communication overlap
+with backpropagation.  :class:`BucketLayout` describes such a split of a flat
+``d``-element gradient into ``ceil(d / bucket_size)`` buckets where every
+bucket holds ``bucket_size`` elements except possibly a smaller (ragged) last
+one.
+
+The layout is pure arithmetic — no data is copied until a caller asks for
+bucket views — so it is equally usable by the compression pipeline, the
+timeline model (per-bucket communication pricing) and tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..tensor.sparse import FLOAT_BYTES, SparseGradient
+
+#: Default bucket size in bytes.  4 MiB of fp32 wire payload (1 Mi elements)
+#: is in the range used by DDP-style fusion buffers and is large enough that
+#: per-bucket fitting stays statistically stable at aggressive ratios.
+DEFAULT_BUCKET_BYTES = 4 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class BucketLayout:
+    """Split of a flat ``total_size``-element vector into fixed-size buckets."""
+
+    total_size: int
+    bucket_size: int
+
+    def __post_init__(self) -> None:
+        if self.total_size < 1:
+            raise ValueError(f"total_size must be >= 1, got {self.total_size}")
+        if self.bucket_size < 1:
+            raise ValueError(f"bucket_size must be >= 1, got {self.bucket_size}")
+
+    @classmethod
+    def from_bytes(
+        cls,
+        total_size: int,
+        bucket_bytes: int = DEFAULT_BUCKET_BYTES,
+        *,
+        element_bytes: int = FLOAT_BYTES,
+    ) -> "BucketLayout":
+        """Layout for a byte budget per bucket (fp32 wire elements by default)."""
+        if bucket_bytes < element_bytes:
+            raise ValueError(
+                f"bucket_bytes ({bucket_bytes}) must hold at least one {element_bytes}-byte element"
+            )
+        return cls(total_size=total_size, bucket_size=bucket_bytes // element_bytes)
+
+    @property
+    def num_buckets(self) -> int:
+        return -(-self.total_size // self.bucket_size)
+
+    @property
+    def last_bucket_size(self) -> int:
+        """Size of the final (possibly ragged) bucket."""
+        rem = self.total_size % self.bucket_size
+        return rem if rem else self.bucket_size
+
+    @property
+    def is_ragged(self) -> bool:
+        return self.last_bucket_size != self.bucket_size
+
+    def starts(self) -> np.ndarray:
+        """Offset of each bucket into the flat vector."""
+        return np.arange(self.num_buckets, dtype=np.int64) * self.bucket_size
+
+    def sizes(self) -> np.ndarray:
+        """Element count of each bucket."""
+        sizes = np.full(self.num_buckets, self.bucket_size, dtype=np.int64)
+        sizes[-1] = self.last_bucket_size
+        return sizes
+
+    def bounds(self, index: int) -> tuple[int, int]:
+        """Half-open ``[start, stop)`` range of bucket ``index``."""
+        if not 0 <= index < self.num_buckets:
+            raise IndexError(f"bucket index {index} out of range for {self.num_buckets} buckets")
+        start = index * self.bucket_size
+        return start, min(start + self.bucket_size, self.total_size)
+
+
+def split_into_buckets(flat: np.ndarray, layout: BucketLayout) -> list[np.ndarray]:
+    """Zero-copy views of ``flat``, one per bucket."""
+    flat = np.asarray(flat).ravel()
+    if flat.size != layout.total_size:
+        raise ValueError(f"flat vector has {flat.size} elements, layout expects {layout.total_size}")
+    return [flat[start:stop] for start, stop in (layout.bounds(i) for i in range(layout.num_buckets))]
+
+
+def merge_sparse_buckets(buckets: list[SparseGradient], layout: BucketLayout) -> SparseGradient:
+    """Merge per-bucket sparse gradients back into one global sparse gradient.
+
+    Bucket-local indices are shifted by each bucket's offset; because buckets
+    tile the flat vector, the merged indices are unique by construction (and
+    globally sorted whenever each bucket's indices are sorted).
+    """
+    if len(buckets) != layout.num_buckets:
+        raise ValueError(f"got {len(buckets)} bucket results, layout expects {layout.num_buckets}")
+    indices: list[np.ndarray] = []
+    values: list[np.ndarray] = []
+    for i, sparse in enumerate(buckets):
+        start, stop = layout.bounds(i)
+        if sparse.dense_size != stop - start:
+            raise ValueError(
+                f"bucket {i} has dense_size {sparse.dense_size}, layout expects {stop - start}"
+            )
+        indices.append(sparse.indices + start)
+        values.append(sparse.values)
+    return SparseGradient(
+        indices=np.concatenate(indices),
+        values=np.concatenate(values),
+        dense_size=layout.total_size,
+    )

@@ -1,0 +1,283 @@
+"""Batched multi-stage SID threshold estimation over gradient buckets.
+
+:func:`estimate_multi_stage_bucketed` reproduces
+:func:`repro.core.threshold.estimate_multi_stage` independently for every
+bucket of a :class:`~repro.pipeline.bucketing.BucketLayout` — but runs all
+buckets through each fitting stage together as a handful of vectorised NumPy
+passes instead of a Python loop of per-bucket fits:
+
+* stage-one moments come from ``np.add.reduceat`` over the flat
+  absolute-gradient vector (which handles the ragged last bucket with no
+  padding) or, equivalently, from a 2-D ``(buckets, bucket_size)`` view,
+* later peak-over-threshold stages keep all buckets' exceedances in one
+  compacted vector with a parallel bucket-id vector, so per-bucket moments are
+  ``np.bincount`` reductions,
+* the closed-form threshold formulas (Corollaries 1.1-1.3, Lemma 2) are
+  evaluated element-wise across the bucket axis.
+
+Per-bucket control flow (per-stage ratios, the ``is_last`` collapse, the
+minimum-sample stopping rule, the single-stage fallback for tiny buckets)
+follows the scalar estimator exactly, tracked with boolean bucket masks, so
+the thresholds agree with a per-bucket scalar loop up to floating-point
+reduction order.  Buckets whose fit would be degenerate (all-zero, or too few
+exceedances for a GP moment match) — cases where the scalar estimator raises —
+get a ``+inf`` threshold instead, i.e. they simply select nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..compressors.base import OpRecord
+from ..core.threshold import MIN_STAGE_SAMPLE, stage_sid
+from ..stats import special
+from ..stats.fitting import SIDName, validate_sid
+from .bucketing import BucketLayout
+
+#: Matches ``GeneralizedPareto._SHAPE_EPS``: below this the GP quantile uses
+#: its exponential limit.
+_GP_SHAPE_EPS = 1e-8
+
+
+@dataclass
+class BucketedThresholdEstimate:
+    """Per-bucket thresholds from one batched multi-stage estimation."""
+
+    thresholds: np.ndarray  # (num_buckets,) final per-bucket thresholds
+    stages_used: np.ndarray  # (num_buckets,) stages actually fitted per bucket
+    ops: list[OpRecord] = field(default_factory=list)
+
+    @property
+    def max_stages_used(self) -> int:
+        return int(self.stages_used.max()) if self.stages_used.size else 0
+
+
+def _per_bucket_reduce(flat: np.ndarray, layout: BucketLayout) -> np.ndarray:
+    """Per-bucket sums of a flat vector (ragged-safe, one pass)."""
+    if layout.num_buckets == 1:
+        return np.asarray([flat.sum()], dtype=np.float64)
+    return np.add.reduceat(flat, layout.starts())
+
+
+def _bucket_mask_and_counts(
+    abs_flat: np.ndarray, layout: BucketLayout, thresholds: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Boolean keep-mask ``|g| >= eta_bucket`` over the flat vector plus per-bucket counts.
+
+    The uniform prefix is compared through a 2-D broadcast view; the ragged
+    tail (when present) is compared separately.  ``+inf`` thresholds drop a
+    bucket entirely.
+    """
+    d, size = layout.total_size, layout.bucket_size
+    nfull = d // size
+    keep = np.empty(d, dtype=bool)
+    counts = np.zeros(layout.num_buckets, dtype=np.int64)
+    if nfull:
+        body = abs_flat[: nfull * size].reshape(nfull, size)
+        body_keep = keep[: nfull * size].reshape(nfull, size)
+        np.greater_equal(body, thresholds[:nfull, None], out=body_keep)
+        counts[:nfull] = body_keep.sum(axis=1)
+    if nfull * size < d:
+        tail = abs_flat[nfull * size :] >= thresholds[nfull]
+        keep[nfull * size :] = tail
+        counts[nfull] = int(tail.sum())
+    return keep, counts
+
+
+def _fit_stage_thresholds(
+    sid: str,
+    delta_m: np.ndarray,
+    counts: np.ndarray,
+    sums: np.ndarray,
+    sumsq: np.ndarray | None,
+    pos_counts: np.ndarray | None,
+    pos_logsums: np.ndarray | None,
+    loc: np.ndarray,
+    mask: np.ndarray,
+) -> np.ndarray:
+    """Vectorised ``Thresh_Estimation`` across the bucket axis.
+
+    Mirrors :func:`repro.stats.fitting.estimate_threshold` bucket-wise;
+    buckets outside ``mask`` or with degenerate moments get ``+inf``.
+    """
+    num = delta_m.size
+    eta = np.full(num, np.inf)
+    cnt = np.maximum(counts, 1).astype(np.float64)
+    with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+        if sid == "exponential":
+            mean = sums / cnt - loc
+            ok = mask & (counts > 0) & (mean > 0.0)
+            eta[ok] = mean[ok] * np.log(1.0 / delta_m[ok]) + loc[ok]
+        elif sid == "gamma":
+            # Gamma fitting only ever happens at stage one (loc == 0) and, like
+            # the scalar Gamma.fit, uses the strictly-positive sample only.
+            pcnt = np.maximum(pos_counts, 1).astype(np.float64)
+            mean = sums / pcnt
+            s = np.log(np.maximum(mean, 1e-300)) - pos_logsums / pcnt
+            shape = np.where(
+                s <= 0.0,
+                1e6,
+                (3.0 - s + np.sqrt((s - 3.0) ** 2 + 24.0 * s)) / np.maximum(12.0 * s, 1e-300),
+            )
+            shape = np.clip(shape, 1e-6, 1e6)
+            scale = mean / shape
+            ok = mask & (pos_counts > 0) & (mean > 0.0)
+            raw = -scale * (np.log(delta_m) + special.log_gamma(shape))
+            eta[ok] = np.maximum(raw, 0.0)[ok] + loc[ok]
+        else:  # gpareto
+            mu = sums / cnt - loc
+            ex2 = (sumsq - 2.0 * loc * sums) / cnt + loc * loc
+            var = ex2 - mu * mu
+            ok = mask & (counts >= 2) & (mu > 0.0) & (var > 0.0)
+            ratio2 = np.where(ok, mu * mu / np.where(var > 0.0, var, 1.0), 1.0)
+            shape = np.clip(0.5 * (1.0 - ratio2), -0.499, 0.499)
+            scale = np.maximum(0.5 * mu * (ratio2 + 1.0), 1e-300)
+            exp_limit = scale * np.log(1.0 / np.maximum(delta_m, 1e-300))
+            with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+                general = scale / np.where(np.abs(shape) < _GP_SHAPE_EPS, 1.0, shape) * (
+                    np.exp(-shape * np.log(np.maximum(delta_m, 1e-300))) - 1.0
+                )
+            quantile = np.where(np.abs(shape) < _GP_SHAPE_EPS, exp_limit, general)
+            eta[ok] = loc[ok] + quantile[ok]
+    return eta
+
+
+def estimate_multi_stage_bucketed(
+    abs_flat: np.ndarray,
+    layout: BucketLayout,
+    delta: float,
+    sid: SIDName,
+    num_stages: int,
+    *,
+    first_stage_ratio: float,
+    min_stage_sample: int = MIN_STAGE_SAMPLE,
+) -> BucketedThresholdEstimate:
+    """Batched equivalent of per-bucket :func:`~repro.core.threshold.estimate_multi_stage`."""
+    validate_sid(sid)
+    if abs_flat.size != layout.total_size:
+        raise ValueError(f"abs_flat has {abs_flat.size} elements, layout expects {layout.total_size}")
+    if not 0.0 < delta < 1.0:
+        raise ValueError(f"delta must be in (0, 1), got {delta}")
+    if num_stages < 1:
+        raise ValueError(f"num_stages must be >= 1, got {num_stages}")
+
+    num = layout.num_buckets
+    sizes = layout.sizes()
+    target_k = delta * sizes.astype(np.float64)
+
+    thresholds = np.full(num, np.inf)
+    eta_prev = np.zeros(num)
+    active = np.ones(num, dtype=bool)
+    stages_used = np.zeros(num, dtype=np.int64)
+    ops: list[OpRecord] = []
+
+    # Current exceedance set: bucket-contiguous values + parallel bucket ids.
+    # Stage one reduces straight off ``abs_flat`` instead.
+    vals: np.ndarray | None = None
+    ids: np.ndarray | None = None
+
+    for m in range(num_stages):
+        counts = sizes if m == 0 else np.bincount(ids, minlength=num)
+
+        fallback = np.zeros(num, dtype=bool)
+        if m == 0:
+            # Tiny buckets: single-stage fit on the whole bucket at the raw
+            # target ratio (the scalar estimator's fallback path).
+            fallback = active & (counts < min_stage_sample)
+        else:
+            # Exceedance set too small to fit another stage: stop refining and
+            # keep the previous stage's threshold.
+            shrunk = active & (counts < min_stage_sample)
+            thresholds[shrunk] = eta_prev[shrunk]
+            active = active & ~shrunk
+        if not active.any():
+            break
+
+        needed = np.where(counts > 0, target_k / np.maximum(counts, 1), np.inf)
+        needed = np.minimum(needed, 0.999)
+        remaining = num_stages - m
+        if remaining == 1:
+            is_last = active.copy()
+        else:
+            is_last = active & (needed >= first_stage_ratio)
+        if m == 0:
+            delta_m = np.where(is_last, needed, first_stage_ratio)
+            delta_m = np.where(fallback, delta, delta_m)
+            is_last = is_last | fallback
+        else:
+            geometric = np.power(needed, 1.0 / remaining)
+            delta_m = np.where(is_last, needed, np.maximum(geometric, needed))
+
+        this_sid = stage_sid(sid, m)
+        active_elems = int(counts[active].sum())
+        if m == 0:
+            sums = _per_bucket_reduce(abs_flat, layout)
+            sumsq = pos_counts = pos_logsums = None
+            if this_sid == "gpareto":
+                sumsq = _per_bucket_reduce(abs_flat * abs_flat, layout)
+            elif this_sid == "gamma":
+                positive = abs_flat > 0.0
+                pos_counts = _per_bucket_reduce(positive.astype(np.float64), layout).astype(np.int64)
+                safe_log = np.log(np.where(positive, abs_flat, 1.0))
+                pos_logsums = _per_bucket_reduce(safe_log, layout)
+            loc = np.zeros(num)
+        else:
+            sums = np.bincount(ids, weights=vals, minlength=num)
+            sumsq = pos_counts = pos_logsums = None
+            if this_sid == "gpareto":
+                sumsq = np.bincount(ids, weights=vals * vals, minlength=num)
+            loc = eta_prev
+        ops.extend(_batched_fit_ops(this_sid, active_elems))
+
+        eta = _fit_stage_thresholds(
+            this_sid, delta_m, counts, sums, sumsq, pos_counts, pos_logsums, loc, active
+        )
+        eta = np.maximum(eta, eta_prev)
+        stages_used[active] += 1
+
+        finished = active & is_last
+        thresholds[finished] = eta[finished]
+        eta_prev = np.where(active, eta, eta_prev)
+        active = active & ~is_last
+        if not active.any():
+            break
+
+        # Compact the exceedances of still-active buckets for the next stage.
+        if m == 0:
+            cutoff = np.where(active, eta_prev, np.inf)
+            keep, kept_counts = _bucket_mask_and_counts(abs_flat, layout, cutoff)
+            vals = abs_flat[keep]
+            ids = np.repeat(np.arange(num), kept_counts)
+            kept_total = int(kept_counts.sum())
+            current_total = int(sizes.sum())
+        else:
+            cutoff = np.where(active, eta_prev, np.inf)
+            keep = vals >= cutoff[ids]
+            current_total = vals.size
+            vals = vals[keep]
+            ids = ids[keep]
+            kept_total = vals.size
+        ops.append(OpRecord("elementwise", current_total))
+        ops.append(OpRecord("compact", current_total, kept_total))
+
+    # Any bucket never finalised (loop exhausted while shrinking) keeps its
+    # last stage threshold.
+    unfinished = np.isinf(thresholds) & (eta_prev > 0.0) & (stages_used > 0)
+    thresholds[unfinished] = eta_prev[unfinished]
+    return BucketedThresholdEstimate(thresholds=thresholds, stages_used=stages_used, ops=ops)
+
+
+def _batched_fit_ops(sid: str, size: int) -> list[OpRecord]:
+    """Primitive trace of one batched (all-buckets-at-once) SID fit.
+
+    Sizes mirror :func:`repro.core.threshold._fit_ops` but cover every active
+    bucket in a single fused pass, so there is one launch per primitive rather
+    than one per bucket — the modelling counterpart of the vectorisation.
+    """
+    if sid == "exponential":
+        return [OpRecord("reduce", size)]
+    if sid == "gamma":
+        return [OpRecord("log_reduce", size), OpRecord("reduce", size)]
+    return [OpRecord("reduce", size), OpRecord("reduce", size)]

@@ -85,6 +85,70 @@ class TestSelectionQuality:
         assert 0.5 <= quality <= 2.0
 
 
+def _degenerate_case(name: str) -> np.ndarray:
+    base = realistic_gradient(4096, seed=99)
+    if name == "tiny":
+        return realistic_gradient(48, seed=5)
+    if name == "ragged-noncontiguous":
+        view = base[::3]
+        assert not view.flags["C_CONTIGUOUS"]
+        return view[:1333]
+    if name == "all-zero":
+        return np.zeros(256)
+    if name == "single-element":
+        return np.array([0.37])
+    raise AssertionError(name)
+
+
+@pytest.mark.parametrize("case", ["tiny", "ragged-noncontiguous", "all-zero", "single-element"])
+@pytest.mark.parametrize("name", available_compressors())
+class TestRegistryWideEdgeInputs:
+    """Every registered compressor must survive awkward-but-legal inputs.
+
+    Structural validity (unique in-range indices, finite values, preserved
+    dense size) must hold for every input.  The achieved-ratio bound is only
+    asserted for inputs with a usable magnitude distribution: on an all-zero
+    vector the threshold-search baselines (RedSync, GaussianKSGD) legitimately
+    land on threshold 0 and keep everything, so no ratio bound is meaningful
+    there.
+    """
+
+    RATIO = 0.02
+    #: Threshold estimators overshoot on tiny samples; the bound only needs to
+    #: catch "selected essentially everything" failures.
+    SLACK = 5.0
+
+    def test_structurally_valid_result(self, name, case):
+        arr = _degenerate_case(case)
+        result = create_compressor(name).compress(arr, self.RATIO)
+        idx = result.sparse.indices
+        assert result.sparse.dense_size == arr.size
+        assert idx.size == np.unique(idx).size
+        if idx.size:
+            assert idx.min() >= 0 and idx.max() < arr.size
+        assert np.all(np.isfinite(result.sparse.values))
+        assert 0.0 <= result.achieved_ratio <= 1.0
+
+    def test_achieved_ratio_bounded(self, name, case):
+        if case == "all-zero":
+            pytest.skip("no magnitude distribution to select from")
+        arr = _degenerate_case(case)
+        result = create_compressor(name).compress(arr, self.RATIO)
+        target = result.target_ratio  # NoCompression normalises the target to 1.0
+        bound = max(1, int(np.ceil(self.SLACK * target * arr.size)))
+        assert result.achieved_k <= bound
+
+    def test_repeat_calls_stay_valid(self, name, case):
+        # Adaptive compressors update internal state from degenerate calls;
+        # the follow-up call must still produce a valid result.
+        arr = _degenerate_case(case)
+        compressor = create_compressor(name)
+        compressor.compress(arr, self.RATIO)
+        result = compressor.compress(arr, self.RATIO)
+        assert result.sparse.indices.size == np.unique(result.sparse.indices).size
+        assert np.all(np.isfinite(result.sparse.values))
+
+
 class TestPropertyBasedContract:
     @given(
         size=st.integers(min_value=100, max_value=5000),

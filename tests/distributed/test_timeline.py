@@ -90,3 +90,65 @@ class TestComputeTimeForOverhead:
     def test_invalid_fraction_rejected(self):
         with pytest.raises(ValueError):
             compute_time_for_overhead(NetworkModel(), 8, 100, 1.0)
+
+
+class TestBucketedCommunication:
+    """Per-bucket communication pricing for pipeline compression results."""
+
+    def _bucketed_results(self, num_workers=2):
+        from repro.pipeline import CompressionPipeline
+
+        gradient = realistic_gradient(20_000, seed=13)
+        pipeline = CompressionPipeline(create_compressor("topk"), bucket_bytes=16_000)
+        return [pipeline.compress(gradient, 0.05) for _ in range(num_workers)]
+
+    def test_bucket_times_returned_per_bucket(self):
+        timeline = _timeline(workers=2)
+        results = self._bucketed_results()
+        times = timeline.bucket_communication_times(results)
+        assert times is not None
+        assert len(times) == results[0].metadata["num_buckets"]
+        assert all(t > 0.0 for t in times)
+
+    def test_compressed_iteration_sums_bucket_times(self):
+        timeline = _timeline(workers=2)
+        results = self._bucketed_results()
+        timing = timeline.compressed_iteration(results)
+        times = timeline.bucket_communication_times(results)
+        assert timing.communication == pytest.approx(sum(times))
+
+    def test_unbucketed_results_fall_back_to_single_payload(self):
+        timeline = _timeline(workers=2)
+        gradient = realistic_gradient(20_000, seed=13)
+        results = [create_compressor("topk").compress(gradient, 0.05) for _ in range(2)]
+        assert timeline.bucket_communication_times(results) is None
+        timing = timeline.compressed_iteration(results)
+        payload = max(r.sparse.payload_bytes() for r in results)
+        assert timing.communication == pytest.approx(
+            timeline.network.allgather_time(payload, 2)
+        )
+
+    def test_mixed_results_fall_back(self):
+        timeline = _timeline(workers=2)
+        bucketed = self._bucketed_results()[0]
+        plain = create_compressor("topk").compress(realistic_gradient(20_000, seed=13), 0.05)
+        assert timeline.bucket_communication_times([bucketed, plain]) is None
+
+    def test_bucketing_pays_per_message_latency(self):
+        # Identical total payload, but each bucket's all-gather pays the
+        # per-message latency, so bucketed communication costs at least as
+        # much as the fused single-shot transfer (the price of enabling
+        # overlap, which the model can discount later).
+        timeline = _timeline(workers=4)
+        results = self._bucketed_results(num_workers=4)
+        bucketed_comm = sum(timeline.bucket_communication_times(results))
+        payload = max(r.sparse.payload_bytes() for r in results)
+        assert bucketed_comm >= timeline.network.allgather_time(payload, 4)
+
+    def test_bucket_times_scale_with_dimension(self):
+        results = self._bucketed_results()
+        small = _timeline(workers=2, scale=1.0)
+        big = _timeline(workers=2, scale=10.0)
+        assert sum(big.bucket_communication_times(results)) > sum(
+            small.bucket_communication_times(results)
+        )

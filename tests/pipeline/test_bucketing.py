@@ -1,0 +1,92 @@
+"""Bucket layout arithmetic and split/merge round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.pipeline import BucketLayout, merge_sparse_buckets, split_into_buckets
+from repro.tensor.sparse import FLOAT_BYTES, SparseGradient
+
+
+class TestBucketLayout:
+    def test_even_split(self):
+        layout = BucketLayout(total_size=1000, bucket_size=250)
+        assert layout.num_buckets == 4
+        assert not layout.is_ragged
+        assert layout.last_bucket_size == 250
+        assert layout.sizes().tolist() == [250] * 4
+        assert layout.starts().tolist() == [0, 250, 500, 750]
+
+    def test_ragged_split(self):
+        layout = BucketLayout(total_size=1003, bucket_size=250)
+        assert layout.num_buckets == 5
+        assert layout.is_ragged
+        assert layout.last_bucket_size == 3
+        assert layout.sizes().tolist() == [250, 250, 250, 250, 3]
+        assert layout.bounds(4) == (1000, 1003)
+
+    def test_single_bucket_when_budget_exceeds_size(self):
+        layout = BucketLayout(total_size=10, bucket_size=1000)
+        assert layout.num_buckets == 1
+        assert layout.last_bucket_size == 10
+
+    def test_from_bytes_uses_element_size(self):
+        layout = BucketLayout.from_bytes(1_000_000, 4 * 1024, element_bytes=FLOAT_BYTES)
+        assert layout.bucket_size == 1024
+
+    def test_sizes_sum_to_total(self):
+        for total in (1, 7, 64, 1000, 1003):
+            layout = BucketLayout(total_size=total, bucket_size=64)
+            assert int(layout.sizes().sum()) == total
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            BucketLayout(total_size=0, bucket_size=10)
+        with pytest.raises(ValueError):
+            BucketLayout(total_size=10, bucket_size=0)
+        with pytest.raises(ValueError):
+            BucketLayout.from_bytes(10, 2, element_bytes=4)
+        with pytest.raises(IndexError):
+            BucketLayout(total_size=10, bucket_size=4).bounds(3)
+
+
+class TestSplitMergeRoundTrip:
+    @pytest.mark.parametrize("total,bucket", [(1000, 250), (1003, 250), (5, 2), (17, 17), (1, 4)])
+    def test_dense_round_trip_is_exact(self, total, bucket, rng):
+        flat = rng.normal(size=total)
+        layout = BucketLayout(total_size=total, bucket_size=bucket)
+        views = split_into_buckets(flat, layout)
+        assert len(views) == layout.num_buckets
+        # Views are zero-copy slices that tile the vector exactly.
+        assert all(v.base is flat or v.base is v for v in views)
+        assert np.array_equal(np.concatenate(views), flat)
+        merged = merge_sparse_buckets([SparseGradient.from_dense(v) for v in views], layout)
+        np.testing.assert_array_equal(merged.to_dense(), flat)
+
+    def test_sparse_round_trip_ragged_last_bucket(self, rng):
+        flat = rng.normal(size=1003)
+        layout = BucketLayout(total_size=1003, bucket_size=100)
+        views = split_into_buckets(flat, layout)
+        buckets = []
+        for view in views:
+            keep = np.abs(view) >= np.quantile(np.abs(view), 0.9)
+            buckets.append(SparseGradient.from_mask(view, keep))
+        merged = merge_sparse_buckets(buckets, layout)
+        # Global indices are unique, sorted, and point back at the original values.
+        assert merged.indices.size == np.unique(merged.indices).size
+        assert np.all(np.diff(merged.indices) > 0)
+        np.testing.assert_array_equal(merged.values, flat[merged.indices])
+
+    def test_merge_validates_bucket_shapes(self, rng):
+        flat = rng.normal(size=100)
+        layout = BucketLayout(total_size=100, bucket_size=50)
+        good = [SparseGradient.from_dense(v) for v in split_into_buckets(flat, layout)]
+        with pytest.raises(ValueError):
+            merge_sparse_buckets(good[:1], layout)
+        bad = [good[0], SparseGradient.from_dense(np.ones(3))]
+        with pytest.raises(ValueError):
+            merge_sparse_buckets(bad, layout)
+
+    def test_split_validates_length(self, rng):
+        layout = BucketLayout(total_size=100, bucket_size=50)
+        with pytest.raises(ValueError):
+            split_into_buckets(rng.normal(size=99), layout)

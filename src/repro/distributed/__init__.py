@@ -10,6 +10,15 @@ from .network import (
     NetworkModel,
     get_network,
 )
+from .schedule import (
+    OVERLAP_POLICIES,
+    BucketEvent,
+    BucketTask,
+    IterationSchedule,
+    ready_times_from_fractions,
+    simulate_iteration,
+    validate_overlap,
+)
 from .timeline import IterationTiming, TimelineModel, compute_time_for_overhead
 from .trainer import (
     DistributedTrainer,
@@ -24,9 +33,13 @@ __all__ = [
     "CLUSTER_ETHERNET_25G",
     "NETWORKS",
     "NODE_INFINIBAND_100G",
+    "OVERLAP_POLICIES",
+    "BucketEvent",
+    "BucketTask",
     "CollectiveResult",
     "DistributedTrainer",
     "IterationRecord",
+    "IterationSchedule",
     "IterationTiming",
     "NetworkModel",
     "TimelineModel",
@@ -39,5 +52,8 @@ __all__ = [
     "allreduce_dense",
     "compute_time_for_overhead",
     "get_network",
+    "ready_times_from_fractions",
+    "simulate_iteration",
     "train_baseline_and_compressed",
+    "validate_overlap",
 ]

@@ -31,6 +31,10 @@ class IterationRecord:
     wall_time: float
     samples: int
     learning_rate: float
+    #: The flat compute + compression + communication + update sum for the
+    #: same iteration; equals ``iteration_time`` when the overlap policy is
+    #: ``"none"``, and upper-bounds it otherwise.
+    serialized_time: float = 0.0
 
 
 @dataclass
@@ -138,4 +142,20 @@ class TrainingMetrics:
             "compute": float(sum(r.compute_time for r in self.records)),
             "compression": float(sum(r.compression_time for r in self.records)),
             "communication": float(sum(r.communication_time for r in self.records)),
+        }
+
+    @property
+    def serialized_total_time(self) -> float:
+        """Total time the run would have taken with ``overlap="none"``."""
+        return float(sum(r.serialized_time or r.iteration_time for r in self.records))
+
+    def overlap_summary(self) -> dict[str, float]:
+        """Overlapped vs serialised run time and the fraction overlap saved."""
+        overlapped = float(sum(r.iteration_time for r in self.records))
+        serialized = self.serialized_total_time
+        saving = 1.0 - overlapped / serialized if serialized > 0.0 else 0.0
+        return {
+            "overlapped_seconds": overlapped,
+            "serialized_seconds": serialized,
+            "overlap_saving": saving,
         }

@@ -11,30 +11,81 @@ components:
   operation trace (workers compress in parallel, the ring waits for the last),
 * ``communication`` — the network model applied to the gradient payload
   (dense all-reduce for the baseline, sparse all-gather otherwise).
+
+How the components compose is governed by the *overlap policy*.  The old
+closed-form sum survives as ``overlap="none"``; with ``"comm"`` or
+``"comm+compress"`` the iteration is priced by the event-driven schedule
+simulator (:mod:`repro.distributed.schedule`), which overlaps bucket *i*'s
+all-gather with bucket *i+1*'s compression (and, for ``"comm+compress"``, with
+the tail of backpropagation) the way DDP/Horovod stacks actually run.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 from ..compressors.base import CompressionResult
-from ..perfmodel.costs import DeviceProfile
+from ..perfmodel.costs import DeviceProfile, distribute_cost
 from ..tensor.sparse import FLOAT_BYTES
 from .network import NetworkModel
+from .schedule import (
+    BucketTask,
+    IterationSchedule,
+    ready_times_from_fractions,
+    simulate_iteration,
+    validate_overlap,
+)
+
+#: One-shot-per-category guard so a long training run does not spam the
+#: inconsistent-metadata warning every iteration, while a *different* kind of
+#: misconfiguration later in the same process still warns.
+_BUCKET_FALLBACK_WARNED: set[str] = set()
+
+
+def _warn_bucket_fallback_once(category: str, reason: str) -> None:
+    if category not in _BUCKET_FALLBACK_WARNED:
+        warnings.warn(
+            "falling back to single-payload all-gather pricing: " + reason,
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        _BUCKET_FALLBACK_WARNED.add(category)
 
 
 @dataclass(frozen=True)
 class IterationTiming:
-    """Simulated duration of one synchronous training iteration (seconds)."""
+    """Simulated duration of one synchronous training iteration (seconds).
+
+    ``serialized`` is always the flat component sum; ``total`` is the
+    critical-path time of the attached event schedule when an overlap policy
+    produced one, and equals ``serialized`` otherwise.
+    """
 
     compute: float
     compression: float
     communication: float
     update: float = 0.0
+    overlap: str = "none"
+    schedule: IterationSchedule | None = None
+
+    @property
+    def serialized(self) -> float:
+        """The ``overlap="none"`` component sum."""
+        return self.compute + self.compression + self.communication + self.update
 
     @property
     def total(self) -> float:
-        return self.compute + self.compression + self.communication + self.update
+        if self.schedule is not None:
+            return self.schedule.iteration_seconds
+        return self.serialized
+
+    @property
+    def overlap_saving(self) -> float:
+        """Fraction of the serialised iteration saved by overlapping."""
+        if self.serialized <= 0.0:
+            return 0.0
+        return 1.0 - self.total / self.serialized
 
 
 @dataclass(frozen=True)
@@ -51,6 +102,11 @@ class TimelineModel:
     #: full-size model of Table 1 (wire volume and compression cost both scale
     #: linearly in the dimension).
     dimension_scale: float = 1.0
+    #: Default overlap policy for :meth:`compressed_iteration` — ``"none"``
+    #: (serial closed-form sum), ``"comm"`` (communication overlaps
+    #: compute/compression) or ``"comm+compress"`` (compression additionally
+    #: overlaps backprop at per-bucket gradient-ready times).
+    overlap: str = "none"
 
     def __post_init__(self) -> None:
         if self.compute_seconds < 0.0 or self.update_seconds < 0.0:
@@ -61,9 +117,14 @@ class TimelineModel:
             raise ValueError("model_dimension must be >= 1")
         if self.dimension_scale <= 0.0:
             raise ValueError("dimension_scale must be positive")
+        validate_overlap(self.overlap)
 
     def baseline_iteration(self) -> IterationTiming:
-        """Iteration timing with no compression (dense all-reduce)."""
+        """Iteration timing with no compression (dense all-reduce).
+
+        The dense baseline ships one fused buffer, so there is no per-bucket
+        structure to overlap and every policy prices it identically.
+        """
         dense_bytes = self.model_dimension * self.dimension_scale * FLOAT_BYTES
         comm = self.network.allreduce_time(dense_bytes, self.num_workers)
         return IterationTiming(
@@ -73,18 +134,23 @@ class TimelineModel:
             update=self.update_seconds,
         )
 
-    def compressed_iteration(self, worker_results: list[CompressionResult]) -> IterationTiming:
+    def compressed_iteration(
+        self, worker_results: list[CompressionResult], *, overlap: str | None = None
+    ) -> IterationTiming:
         """Iteration timing for a set of per-worker compression results.
 
         When every worker's result carries per-bucket payload sizes (the
         bucketed pipeline records them in ``metadata["bucket_payload_bytes"]``),
         communication is priced bucket by bucket: one all-gather per bucket,
-        each bounded by the slowest worker's payload for that bucket.  This is
-        how DDP-style stacks actually ship gradients, and it is the structure
-        later compute/communication overlap modelling needs.
+        each bounded by the slowest worker's payload for that bucket.  With an
+        overlap policy other than ``"none"``, the per-bucket jobs are placed on
+        compute/network lanes by the event-driven schedule simulator and
+        ``total`` becomes the critical-path time; ``overlap="none"`` keeps the
+        exact closed-form sum of the pre-schedule timeline.
         """
         if not worker_results:
             raise ValueError("need at least one worker result")
+        policy = validate_overlap(self.overlap if overlap is None else overlap)
         compression = max(self.device.trace_cost(self._scaled_ops(r)) for r in worker_results)
         bucket_times = self.bucket_communication_times(worker_results)
         if bucket_times is not None:
@@ -92,11 +158,59 @@ class TimelineModel:
         else:
             payload = max(r.sparse.payload_bytes() for r in worker_results) * self.dimension_scale
             comm = self.network.allgather_time(payload, self.num_workers)
+        schedule = None
+        if policy != "none" and bucket_times is not None:
+            schedule = self._bucket_schedule(
+                worker_results[0].metadata, bucket_times, compression, policy
+            )
         return IterationTiming(
             compute=self.compute_seconds,
             compression=compression,
             communication=comm,
             update=self.update_seconds,
+            overlap=policy,
+            schedule=schedule,
+        )
+
+    def _bucket_schedule(
+        self,
+        metadata: dict,
+        bucket_times: list[float],
+        compression_seconds: float,
+        policy: str,
+    ) -> IterationSchedule:
+        """Place per-bucket compress/all-gather jobs on the event timeline."""
+        num_buckets = len(bucket_times)
+        sizes = metadata.get("bucket_sizes")
+        if sizes is None or len(sizes) != num_buckets:
+            sizes = [1] * num_buckets  # equal split when the layout is unknown
+        fractions = metadata.get("bucket_ready_fractions")
+        if fractions is None or len(fractions) != num_buckets:
+            # Reverse-order readiness from bucket sizes: backprop fills the
+            # flat gradient back-to-front, so bucket i is ready once all
+            # elements from its start offset onwards have gradients.
+            total = float(sum(sizes))
+            acc = 0.0
+            fractions = []
+            for size in sizes:
+                fractions.append((total - acc) / total if total > 0.0 else 1.0)
+                acc += size
+        compress_seconds = distribute_cost(compression_seconds, sizes)
+        ready_seconds = ready_times_from_fractions(fractions, self.compute_seconds)
+        tasks = [
+            BucketTask(
+                index=i,
+                ready_seconds=ready_seconds[i],
+                compress_seconds=float(compress_seconds[i]),
+                comm_seconds=float(bucket_times[i]),
+            )
+            for i in range(num_buckets)
+        ]
+        return simulate_iteration(
+            tasks,
+            compute_seconds=self.compute_seconds,
+            overlap=policy,
+            update_seconds=self.update_seconds,
         )
 
     def bucket_communication_times(
@@ -107,11 +221,30 @@ class TimelineModel:
         Bucket ``i`` of the synchronous all-gather completes when the slowest
         worker's bucket-``i`` payload has made it around the ring, so each
         bucket is priced at the per-bucket maximum across workers.
+
+        All workers compress replicas of the same gradient, so their results
+        must agree on the bucket structure: a mix of bucketed and unbucketed
+        results, or differing bucket counts, indicates a mis-assembled worker
+        pool — those fall back to single-payload pricing with a one-time
+        :class:`RuntimeWarning` instead of silently under-pricing.
         """
         payload_lists = [r.metadata.get("bucket_payload_bytes") for r in worker_results]
-        if any(p is None for p in payload_lists):
+        missing = sum(p is None for p in payload_lists)
+        if missing == len(payload_lists):
+            return None  # plain unbucketed compressors: nothing to warn about
+        if missing:
+            _warn_bucket_fallback_once(
+                "mixed",
+                f"{missing}/{len(payload_lists)} worker results lack "
+                "metadata['bucket_payload_bytes'] (mixed bucketed/unbucketed workers)",
+            )
             return None
         if len({len(p) for p in payload_lists}) != 1:
+            _warn_bucket_fallback_once(
+                "mismatch",
+                "worker results disagree on the number of buckets: "
+                f"{sorted({len(p) for p in payload_lists})}",
+            )
             return None
         per_bucket_max = (max(worker[i] for worker in payload_lists) for i in range(len(payload_lists[0])))
         return [

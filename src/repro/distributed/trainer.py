@@ -33,11 +33,12 @@ from ..optim.sgd import SGD
 from ..perfmodel.costs import DeviceProfile
 from ..perfmodel.device import GPU_V100
 from ..pipeline import CompressionPipeline
-from ..tensor.flatten import unflatten
+from ..tensor.flatten import FlatSpec, unflatten
 from ..tensor.sparse import SparseGradient
 from .collectives import allgather_sparse, allreduce_dense
 from .metrics import IterationRecord, TrainingMetrics
 from .network import CLUSTER_ETHERNET_10G, NetworkModel
+from .schedule import validate_overlap
 from .timeline import TimelineModel
 from .worker import Worker
 
@@ -64,6 +65,17 @@ class TrainerConfig:
     #: :class:`~repro.pipeline.CompressionPipeline` with this many bytes per
     #: bucket, and the timeline prices communication per bucket.
     bucket_bytes: int | None = None
+    #: Overlap policy for the event-driven iteration schedule: ``"none"``
+    #: serialises compute, compression and communication (the closed-form
+    #: sum); ``"comm"`` overlaps each bucket's all-gather with later buckets'
+    #: compression; ``"comm+compress"`` additionally starts compressing each
+    #: bucket at its gradient-ready point during backprop.  Only bucketed runs
+    #: (``bucket_bytes`` set) have per-bucket structure to overlap.
+    overlap: str = "none"
+    #: Snap bucket boundaries to the model's layer boundaries (DDP-style) and
+    #: derive per-bucket gradient-ready times from reverse layer order.
+    #: Ignored unless ``bucket_bytes`` is set.
+    layer_aware_buckets: bool = True
 
     def __post_init__(self) -> None:
         if self.num_workers < 1:
@@ -78,6 +90,7 @@ class TrainerConfig:
             raise ValueError("compute_seconds must be non-negative")
         if self.bucket_bytes is not None and self.bucket_bytes < 1:
             raise ValueError("bucket_bytes must be positive when set")
+        validate_overlap(self.overlap)
 
 
 @dataclass
@@ -111,10 +124,18 @@ class DistributedTrainer:
         self.capture = capture
         self.scheduler = scheduler
 
+        flat_spec = FlatSpec.from_named_shapes(
+            {name: p.shape for name, p in model.named_parameters().items()}
+        )
         shards = shard_dataset(dataset, config.num_workers, seed=config.seed)
         self.workers: list[Worker] = []
         for worker_id, shard in enumerate(shards):
-            comp = self._make_compressor(compressor, compressor_kwargs, config.bucket_bytes)
+            comp = self._make_compressor(
+                compressor,
+                compressor_kwargs,
+                config.bucket_bytes,
+                flat_spec=flat_spec if config.layer_aware_buckets else None,
+            )
             batches = BatchIterator(shard, config.batch_size, seed=config.seed + 101 * worker_id)
             self.workers.append(
                 Worker(
@@ -147,12 +168,16 @@ class DistributedTrainer:
             num_workers=config.num_workers,
             model_dimension=dimension,
             dimension_scale=config.dimension_scale,
+            overlap=config.overlap,
         )
         self._warmup_compressor = NoCompression()
 
     @staticmethod
     def _make_compressor(
-        compressor: str | Compressor, kwargs: dict | None, bucket_bytes: int | None = None
+        compressor: str | Compressor,
+        kwargs: dict | None,
+        bucket_bytes: int | None = None,
+        flat_spec: FlatSpec | None = None,
     ) -> Compressor:
         if isinstance(compressor, Compressor):
             # A shared instance would entangle per-worker adaptive state, so a
@@ -165,10 +190,12 @@ class DistributedTrainer:
             return built
         if isinstance(built, CompressionPipeline):
             # Already bucketed (e.g. a "sidco-*-bucketed" registry name): the
-            # trainer config's bucket size wins over the factory default.
+            # trainer config's bucket size and layer layout win over the
+            # factory defaults.
             built.bucket_bytes = int(bucket_bytes)
+            built.flat_spec = flat_spec
             return built
-        return CompressionPipeline(built, bucket_bytes=bucket_bytes)
+        return CompressionPipeline(built, bucket_bytes=bucket_bytes, flat_spec=flat_spec)
 
     # -- training ---------------------------------------------------------------
 
@@ -225,6 +252,7 @@ class DistributedTrainer:
                     compression_time=timing.compression,
                     communication_time=timing.communication,
                     iteration_time=timing.total,
+                    serialized_time=timing.serialized,
                     wall_time=wall_time,
                     samples=cfg.batch_size * cfg.num_workers,
                     learning_rate=lr,

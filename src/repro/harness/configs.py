@@ -60,6 +60,9 @@ class BenchmarkConfig:
     #: each worker's compressor in :class:`repro.pipeline.CompressionPipeline`
     #: and prices communication per bucket.
     bucket_bytes: int | None = None
+    #: Overlap policy for the event-driven iteration schedule (``"none"``,
+    #: ``"comm"`` or ``"comm+compress"``); meaningful for bucketed runs.
+    overlap: str = "none"
 
     def build_proxy_model(self, *, seed: int = 1):
         """Instantiate a freshly initialised proxy model."""

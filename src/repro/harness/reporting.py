@@ -67,6 +67,28 @@ def format_series(name: str, xs, ys, *, max_points: int = 12) -> str:
     return f"{name}: {points}"
 
 
+def format_overlap_summary(rows) -> str:
+    """Summarise overlapped vs serialised iteration time per compressor.
+
+    Accepts :class:`~repro.harness.training_runs.BenchmarkRunRow` rows (or any
+    mapping with ``compressor``, ``overlap``, ``total_time``,
+    ``serialized_time`` and ``overlap_saving``) and renders the event-driven
+    schedule's headline comparison: how much wall-clock the overlap policy
+    recovered relative to serialising compute, compression and communication.
+    """
+    dict_rows = [_coerce_row(r) for r in rows]
+    lines = []
+    for row in dict_rows:
+        serialized = row.get("serialized_time", 0.0) or row.get("total_time", 0.0)
+        lines.append(
+            f"  {row['compressor']:<12} overlap={row.get('overlap', 'none'):<13}"
+            f" overlapped={_format_value(row['total_time'])}s"
+            f"  serialized={_format_value(serialized)}s"
+            f"  saved={_format_value(100.0 * row.get('overlap_saving', 0.0))}%"
+        )
+    return "\n".join(["overlapped vs serialized iteration time:", *lines])
+
+
 def format_speedup_summary(rows, *, group_by: str = "ratio") -> str:
     """Summarise benchmark-comparison rows grouped by ratio (the paper's bar groups)."""
     dict_rows = [_coerce_row(r) for r in rows]

@@ -38,6 +38,11 @@ class BenchmarkRunRow:
     throughput_vs_baseline: float
     estimation_quality: float
     estimation_quality_ci: tuple[float, float]
+    #: Overlap policy the run was priced under, its serialised-equivalent run
+    #: time, and the fraction of that time the overlap policy saved.
+    overlap: str = "none"
+    serialized_time: float = 0.0
+    overlap_saving: float = 0.0
 
 
 @dataclass
@@ -67,6 +72,7 @@ def _trainer_config(
     seed: int,
     network: NetworkModel,
     bucket_bytes: int | None = None,
+    overlap: str | None = None,
 ) -> TrainerConfig:
     return TrainerConfig(
         num_workers=num_workers,
@@ -82,6 +88,7 @@ def _trainer_config(
         compute_seconds=config.compute_seconds(network, num_workers),
         dimension_scale=config.dimension_scale(),
         bucket_bytes=config.proxy_bucket_bytes(bucket_bytes),
+        overlap=config.overlap if overlap is None else overlap,
     )
 
 
@@ -97,20 +104,23 @@ def run_benchmark(
     device: DeviceProfile = GPU_V100,
     capture: GradientCapture | None = None,
     bucket_bytes: int | None = None,
+    overlap: str | None = None,
 ) -> TrainingRunResult:
     """Train one Table 1 proxy benchmark with one compressor and evaluate it.
 
     ``bucket_bytes`` switches the run onto the bucketed compression pipeline.
     Like ``BenchmarkConfig.bucket_bytes`` (its default), it is stated in
     full-size-model bytes per gradient bucket and rescaled to the proxy's
-    dimension automatically.
+    dimension automatically.  ``overlap`` picks the iteration-schedule policy
+    (``"none"``, ``"comm"``, ``"comm+compress"``; default: the benchmark
+    config's policy).
     """
     config = benchmark if isinstance(benchmark, BenchmarkConfig) else get_benchmark(benchmark)
     dataset = config.build_proxy_dataset(seed=seed)
     model = config.build_proxy_model(seed=seed + 1)
     trainer_cfg = _trainer_config(
         config, ratio, num_workers=num_workers, iterations=iterations, seed=seed, network=network,
-        bucket_bytes=bucket_bytes,
+        bucket_bytes=bucket_bytes, overlap=overlap,
     )
     trainer = DistributedTrainer(
         model,
@@ -135,12 +145,13 @@ def compare_compressors(
     network: NetworkModel = CLUSTER_ETHERNET_10G,
     device: DeviceProfile = GPU_V100,
     bucket_bytes: int | None = None,
+    overlap: str | None = None,
 ) -> BenchmarkComparison:
     """Run one benchmark for every (compressor, ratio) pair plus the dense baseline."""
     config = benchmark if isinstance(benchmark, BenchmarkConfig) else get_benchmark(benchmark)
     baseline = run_benchmark(
         config, "none", 1.0, num_workers=num_workers, iterations=iterations, seed=seed,
-        network=network, device=device, bucket_bytes=bucket_bytes,
+        network=network, device=device, bucket_bytes=bucket_bytes, overlap=overlap,
     )
     baseline_quality = _quality_from_evaluation(config, baseline.final_evaluation)
     baseline_rate = baseline_quality / max(baseline.metrics.total_time, 1e-12)
@@ -151,11 +162,12 @@ def compare_compressors(
         for ratio in ratios:
             result = run_benchmark(
                 config, name, ratio, num_workers=num_workers, iterations=iterations, seed=seed,
-                network=network, device=device, bucket_bytes=bucket_bytes,
+                network=network, device=device, bucket_bytes=bucket_bytes, overlap=overlap,
             )
             quality = _quality_from_evaluation(config, result.final_evaluation)
             rate = quality / max(result.metrics.total_time, 1e-12)
             est_quality, est_ci = result.metrics.estimation_quality()
+            overlap_stats = result.metrics.overlap_summary()
             comparison.rows.append(
                 BenchmarkRunRow(
                     benchmark=config.name,
@@ -170,6 +182,9 @@ def compare_compressors(
                     else float("nan"),
                     estimation_quality=est_quality,
                     estimation_quality_ci=est_ci,
+                    overlap=result.config.overlap if result.config else "none",
+                    serialized_time=overlap_stats["serialized_seconds"],
+                    overlap_saving=overlap_stats["overlap_saving"],
                 )
             )
             comparison.runs[(name, ratio)] = result

@@ -1,6 +1,6 @@
 """Device performance model for compression latency."""
 
-from .costs import PRIMITIVES, CostBreakdown, DeviceProfile, breakdown, scale_ops
+from .costs import PRIMITIVES, CostBreakdown, DeviceProfile, breakdown, distribute_cost, scale_ops
 from .device import CPU_XEON, DEVICES, GPU_V100, get_device
 from .estimator import (
     DEFAULT_SAMPLE_CAP,
@@ -23,6 +23,7 @@ __all__ = [
     "LatencyEstimate",
     "breakdown",
     "compression_throughput",
+    "distribute_cost",
     "estimate_latency",
     "estimate_latency_for_dimension",
     "get_device",

@@ -23,6 +23,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from ..compressors.base import OpRecord
 
 #: Primitive names every profile must provide a coefficient for.
@@ -90,6 +92,28 @@ def breakdown(ops: list[OpRecord], device: DeviceProfile) -> CostBreakdown:
         per_primitive_seconds=per_primitive,
         num_ops=len(ops),
     )
+
+
+def distribute_cost(total_seconds: float, weights) -> np.ndarray:
+    """Split a total duration across buckets proportionally to ``weights``.
+
+    Compression primitives are linear in the number of elements scanned, so
+    one compression call covering many gradient buckets (e.g. the batched
+    SIDCo fitting pass) spends time on each bucket in proportion to the
+    bucket's element count.  The event-driven iteration schedule uses this to
+    turn one trace-level total into per-bucket compression durations.
+    """
+    if total_seconds < 0.0:
+        raise ValueError("total_seconds must be non-negative")
+    w = np.asarray(weights, dtype=np.float64)
+    if w.size == 0:
+        raise ValueError("weights must be non-empty")
+    if (w < 0.0).any():
+        raise ValueError("weights must be non-negative")
+    total_weight = float(w.sum())
+    if total_weight <= 0.0:
+        return np.full(w.size, total_seconds / w.size)
+    return total_seconds * w / total_weight
 
 
 def scale_ops(ops: list[OpRecord], factor: float) -> list[OpRecord]:

@@ -25,6 +25,7 @@ import numpy as np
 from ..compressors.base import Compressor, CompressionResult, OpRecord
 from ..core.sidco import SIDCo
 from ..core.threshold import estimate_multi_stage
+from ..tensor.flatten import FlatSpec
 from ..tensor.sparse import FLOAT_BYTES, INDEX_BYTES, SparseGradient
 from .bucketing import DEFAULT_BUCKET_BYTES, BucketLayout, merge_sparse_buckets, split_into_buckets
 from .vectorized import _bucket_mask_and_counts, estimate_multi_stage_bucketed
@@ -45,6 +46,12 @@ class CompressionPipeline(Compressor):
     vectorized:
         Use the batched all-buckets-at-once SIDCo fitting fast path.  Ignored
         for non-SIDCo compressors, which always run the per-bucket loop.
+    flat_spec:
+        Optional layer layout of the flattened gradient.  When set, gradients
+        whose size matches the spec are bucketed layer-aware
+        (:meth:`BucketLayout.from_flat_spec`): bucket boundaries snap to layer
+        boundaries DDP-style and per-bucket gradient-ready fractions are
+        recorded for the overlap-aware iteration schedule.
     """
 
     def __init__(
@@ -54,6 +61,7 @@ class CompressionPipeline(Compressor):
         bucket_bytes: int = DEFAULT_BUCKET_BYTES,
         element_bytes: int = FLOAT_BYTES,
         vectorized: bool = True,
+        flat_spec: FlatSpec | None = None,
     ) -> None:
         if isinstance(compressor, str):
             # Deferred import: the registry registers bucketed factories that
@@ -71,13 +79,23 @@ class CompressionPipeline(Compressor):
         self.bucket_bytes = int(bucket_bytes)
         self.element_bytes = int(element_bytes)
         self.vectorized = bool(vectorized)
+        self.flat_spec = flat_spec
         self.name = f"{compressor.name}-bucketed"
 
     def reset(self) -> None:
         self.compressor.reset()
 
     def layout_for(self, size: int) -> BucketLayout:
-        """Bucket layout the pipeline uses for a ``size``-element gradient."""
+        """Bucket layout the pipeline uses for a ``size``-element gradient.
+
+        Layer-aware when a matching :class:`~repro.tensor.flatten.FlatSpec`
+        was provided; a size mismatch (e.g. the pipeline reused on a different
+        tensor) falls back to the uniform fixed-size layout.
+        """
+        if self.flat_spec is not None and self.flat_spec.total_size == size:
+            return BucketLayout.from_flat_spec(
+                self.flat_spec, self.bucket_bytes, element_bytes=self.element_bytes
+            )
         return BucketLayout.from_bytes(size, self.bucket_bytes, element_bytes=self.element_bytes)
 
     def compress(self, gradient: np.ndarray, ratio: float) -> CompressionResult:
@@ -101,7 +119,7 @@ class CompressionPipeline(Compressor):
             # contract (per-bucket payloads) intact for the timeline model.
             result = inner.compress(arr, ratio)
             bucket_nnz = np.bincount(
-                result.sparse.indices // layout.bucket_size, minlength=layout.num_buckets
+                layout.bucket_of(result.sparse.indices), minlength=layout.num_buckets
             ).astype(np.int64)
             result.metadata.update(self._bucket_metadata(layout, bucket_nnz, degenerate=True))
             return result
@@ -202,6 +220,9 @@ class CompressionPipeline(Compressor):
         meta = {
             "num_buckets": layout.num_buckets,
             "bucket_size": layout.bucket_size,
+            "bucket_sizes": layout.sizes().tolist(),
+            "bucket_ready_fractions": layout.ready_fractions().tolist(),
+            "layer_aware": not layout.is_uniform,
             "bucket_nnz": bucket_nnz.tolist(),
             "bucket_payload_bytes": payload,
         }

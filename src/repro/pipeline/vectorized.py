@@ -66,10 +66,18 @@ def _bucket_mask_and_counts(
 ) -> tuple[np.ndarray, np.ndarray]:
     """Boolean keep-mask ``|g| >= eta_bucket`` over the flat vector plus per-bucket counts.
 
-    The uniform prefix is compared through a 2-D broadcast view; the ragged
-    tail (when present) is compared separately.  ``+inf`` thresholds drop a
-    bucket entirely.
+    For uniform layouts the prefix is compared through a 2-D broadcast view and
+    the ragged tail (when present) separately; layer-aware layouts with
+    variable bucket sizes broadcast each bucket's threshold across its span
+    instead.  ``+inf`` thresholds drop a bucket entirely.
     """
+    if not layout.is_uniform:
+        keep = abs_flat >= np.repeat(thresholds, layout.sizes())
+        if layout.num_buckets == 1:
+            counts = np.asarray([keep.sum()], dtype=np.int64)
+        else:
+            counts = np.add.reduceat(keep.astype(np.int64), layout.starts())
+        return keep, counts
     d, size = layout.total_size, layout.bucket_size
     nfull = d // size
     keep = np.empty(d, dtype=bool)

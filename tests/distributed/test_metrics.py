@@ -97,3 +97,33 @@ class TestScalars:
         breakdown = metrics.component_breakdown()
         assert breakdown["compute"] == pytest.approx(0.4)
         assert breakdown["communication"] == pytest.approx(0.5)
+
+
+class TestOverlapSummary:
+    def test_serialized_defaults_to_iteration_time(self):
+        # Records without an explicit serialized_time (overlap="none" runs)
+        # count their iteration time as the serialised time.
+        metrics = _metrics(10, it_time=0.1)
+        assert metrics.serialized_total_time == pytest.approx(metrics.total_time)
+        summary = metrics.overlap_summary()
+        assert summary["overlap_saving"] == pytest.approx(0.0)
+
+    def test_overlap_saving_from_serialized_times(self):
+        metrics = TrainingMetrics()
+        for i in range(10):
+            record = _record(i, it_time=0.08)
+            metrics.append(
+                IterationRecord(**{**record.__dict__, "serialized_time": 0.1})
+            )
+        summary = metrics.overlap_summary()
+        assert summary["overlapped_seconds"] == pytest.approx(0.8)
+        assert summary["serialized_seconds"] == pytest.approx(1.0)
+        assert summary["overlap_saving"] == pytest.approx(0.2)
+
+    def test_empty_metrics_safe_overlap(self):
+        summary = TrainingMetrics().overlap_summary()
+        assert summary == {
+            "overlapped_seconds": 0.0,
+            "serialized_seconds": 0.0,
+            "overlap_saving": 0.0,
+        }

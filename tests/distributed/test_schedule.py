@@ -1,0 +1,179 @@
+"""Tests for the event-driven iteration schedule simulator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributed import (
+    OVERLAP_POLICIES,
+    BucketTask,
+    ready_times_from_fractions,
+    simulate_iteration,
+    validate_overlap,
+)
+
+
+def _tasks(durations, compute=1.0):
+    """Tasks with reverse-order readiness over equal-size buckets."""
+    n = len(durations)
+    return [
+        BucketTask(
+            index=i,
+            ready_seconds=compute * (n - i) / n,
+            compress_seconds=c,
+            comm_seconds=m,
+        )
+        for i, (c, m) in enumerate(durations)
+    ]
+
+
+class TestPolicies:
+    def test_none_matches_closed_form_sum(self):
+        tasks = _tasks([(0.2, 0.5), (0.1, 0.4), (0.3, 0.2)], compute=1.0)
+        schedule = simulate_iteration(tasks, compute_seconds=1.0, overlap="none", update_seconds=0.05)
+        assert schedule.iteration_seconds == pytest.approx(1.0 + 0.6 + 1.1 + 0.05)
+        assert schedule.iteration_seconds == pytest.approx(schedule.serialized_seconds)
+        assert schedule.overlap_saving == pytest.approx(0.0)
+
+    def test_comm_strictly_faster_on_multi_bucket(self):
+        tasks = _tasks([(0.2, 0.5), (0.1, 0.4), (0.3, 0.2)])
+        none = simulate_iteration(tasks, compute_seconds=1.0, overlap="none")
+        comm = simulate_iteration(tasks, compute_seconds=1.0, overlap="comm")
+        assert comm.iteration_seconds < none.iteration_seconds
+        assert 0.0 < comm.overlap_saving < 1.0
+
+    def test_comm_compress_at_least_as_fast_as_comm(self):
+        tasks = _tasks([(0.2, 0.5), (0.1, 0.4), (0.3, 0.2)])
+        comm = simulate_iteration(tasks, compute_seconds=1.0, overlap="comm")
+        both = simulate_iteration(tasks, compute_seconds=1.0, overlap="comm+compress")
+        assert both.iteration_seconds < comm.iteration_seconds
+
+    def test_policy_ordering_single_bucket_degenerates(self):
+        # One bucket (ready only when backprop completes): nothing to overlap,
+        # every policy prices the same critical path.
+        task = [BucketTask(index=0, ready_seconds=1.0, compress_seconds=0.3, comm_seconds=0.4)]
+        totals = {
+            policy: simulate_iteration(task, compute_seconds=1.0, overlap=policy).iteration_seconds
+            for policy in OVERLAP_POLICIES
+        }
+        assert totals["none"] == pytest.approx(1.7)
+        assert totals["comm"] == pytest.approx(totals["none"])
+        assert totals["comm+compress"] == pytest.approx(totals["none"])
+
+    def test_ragged_last_bucket_schedule(self):
+        # A small ragged bucket ready last still serialises correctly on both lanes.
+        tasks = _tasks([(0.2, 0.4), (0.2, 0.4), (0.01, 0.02)])
+        schedule = simulate_iteration(tasks, compute_seconds=0.5, overlap="comm")
+        events = {e.index: e for e in schedule.events}
+        # The network lane never runs two all-gathers at once.
+        spans = sorted((e.comm_start, e.comm_end) for e in schedule.events)
+        assert all(a_end <= b_start + 1e-12 for (_, a_end), (b_start, _) in zip(spans, spans[1:]))
+        # Bucket 0 is ready last; its compression cannot start before backprop ends.
+        assert events[0].compress_start >= 0.5
+
+    def test_delayed_readiness_gates_every_policy(self):
+        # A ready time beyond compute_seconds (delayed readiness) must gate
+        # compression under all policies — no gradient compresses before it exists.
+        task = [BucketTask(index=0, ready_seconds=2.0, compress_seconds=0.5, comm_seconds=0.1)]
+        for policy in OVERLAP_POLICIES:
+            schedule = simulate_iteration(task, compute_seconds=1.0, overlap=policy)
+            assert schedule.events[0].compress_start >= 2.0
+            assert schedule.iteration_seconds == pytest.approx(2.6)
+
+    def test_empty_tasks(self):
+        schedule = simulate_iteration([], compute_seconds=0.7, overlap="comm", update_seconds=0.1)
+        assert schedule.iteration_seconds == pytest.approx(0.8)
+        assert schedule.events == ()
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_iteration([], compute_seconds=1.0, overlap="pipelined")
+        with pytest.raises(ValueError):
+            validate_overlap("overlapped")
+        with pytest.raises(ValueError):
+            BucketTask(index=0, ready_seconds=-1.0, compress_seconds=0.0, comm_seconds=0.0)
+        with pytest.raises(ValueError):
+            BucketTask(index=-1, ready_seconds=0.0, compress_seconds=0.0, comm_seconds=0.0)
+        with pytest.raises(ValueError):
+            simulate_iteration([], compute_seconds=-0.1)
+        with pytest.raises(ValueError):
+            ready_times_from_fractions([1.5], 1.0)
+
+    def test_ready_times_from_fractions(self):
+        assert ready_times_from_fractions([1.0, 0.5, 0.0], 2.0) == [2.0, 1.0, 0.0]
+
+
+@st.composite
+def _workloads(draw):
+    compute = draw(st.floats(min_value=0.0, max_value=2.0))
+    n = draw(st.integers(min_value=1, max_value=8))
+    fractions = sorted(
+        draw(
+            st.lists(
+                st.floats(min_value=0.0, max_value=1.0), min_size=n, max_size=n
+            )
+        ),
+        reverse=True,
+    )
+    tasks = [
+        BucketTask(
+            index=i,
+            ready_seconds=fractions[i] * compute,
+            compress_seconds=draw(st.floats(min_value=0.0, max_value=1.0)),
+            comm_seconds=draw(st.floats(min_value=0.0, max_value=1.0)),
+        )
+        for i in range(n)
+    ]
+    update = draw(st.floats(min_value=0.0, max_value=0.2))
+    return tasks, compute, update
+
+
+class TestCriticalPathBounds:
+    @settings(max_examples=200, deadline=None)
+    @given(workload=_workloads(), policy=st.sampled_from(OVERLAP_POLICIES))
+    def test_bounded_by_serial_sum_and_resource_lower_bound(self, workload, policy):
+        tasks, compute, update = workload
+        schedule = simulate_iteration(
+            tasks, compute_seconds=compute, overlap=policy, update_seconds=update
+        )
+        total_compress = sum(t.compress_seconds for t in tasks)
+        total_comm = sum(t.comm_seconds for t in tasks)
+        serial = compute + total_compress + total_comm + update
+        # Never better than keeping each resource lane 100% busy...
+        lower = max(compute, total_comm, total_compress) + update
+        # ...never worse than serialising everything.
+        assert lower - 1e-9 <= schedule.iteration_seconds <= serial + 1e-9
+        assert schedule.serialized_seconds == pytest.approx(serial)
+
+    @settings(max_examples=100, deadline=None)
+    @given(workload=_workloads())
+    def test_stronger_policies_never_slower(self, workload):
+        tasks, compute, update = workload
+        totals = [
+            simulate_iteration(
+                tasks, compute_seconds=compute, overlap=policy, update_seconds=update
+            ).iteration_seconds
+            for policy in ("none", "comm", "comm+compress")
+        ]
+        assert totals[0] + 1e-9 >= totals[1] >= totals[2] - 1e-9
+
+    @settings(max_examples=100, deadline=None)
+    @given(workload=_workloads(), policy=st.sampled_from(OVERLAP_POLICIES))
+    def test_event_trace_is_consistent(self, workload, policy):
+        tasks, compute, update = workload
+        schedule = simulate_iteration(
+            tasks, compute_seconds=compute, overlap=policy, update_seconds=update
+        )
+        assert len(schedule.events) == len(tasks)
+        by_index = {t.index: t for t in tasks}
+        for event in schedule.events:
+            task = by_index[event.index]
+            assert event.compress_start >= event.ready - 1e-12
+            assert event.compress_end == pytest.approx(event.compress_start + task.compress_seconds)
+            assert event.comm_start >= event.compress_end - 1e-12
+            assert event.comm_end == pytest.approx(event.comm_start + task.comm_seconds)
+            if policy != "comm+compress":
+                assert event.compress_start >= compute - 1e-12
+        # Compression jobs serialise on the compression stream.
+        spans = sorted((e.compress_start, e.compress_end) for e in schedule.events)
+        assert all(a_end <= b_start + 1e-9 for (_, a_end), (b_start, _) in zip(spans, spans[1:]))

@@ -1,5 +1,7 @@
 """Tests for the iteration-time model."""
 
+import warnings
+
 import numpy as np
 import pytest
 
@@ -117,7 +119,7 @@ class TestBucketedCommunication:
         times = timeline.bucket_communication_times(results)
         assert timing.communication == pytest.approx(sum(times))
 
-    def test_unbucketed_results_fall_back_to_single_payload(self):
+    def test_unbucketed_results_fall_back_to_single_payload(self, recwarn):
         timeline = _timeline(workers=2)
         gradient = realistic_gradient(20_000, seed=13)
         results = [create_compressor("topk").compress(gradient, 0.05) for _ in range(2)]
@@ -127,12 +129,53 @@ class TestBucketedCommunication:
         assert timing.communication == pytest.approx(
             timeline.network.allgather_time(payload, 2)
         )
+        # Uniformly unbucketed workers are the normal plain-compressor path,
+        # not an inconsistency: no warning.
+        assert not [w for w in recwarn.list if issubclass(w.category, RuntimeWarning)]
 
-    def test_mixed_results_fall_back(self):
+    def test_mixed_results_fall_back_with_warning(self, monkeypatch):
+        from repro.distributed import timeline as timeline_module
+
+        monkeypatch.setattr(timeline_module, "_BUCKET_FALLBACK_WARNED", set())
         timeline = _timeline(workers=2)
         bucketed = self._bucketed_results()[0]
         plain = create_compressor("topk").compress(realistic_gradient(20_000, seed=13), 0.05)
-        assert timeline.bucket_communication_times([bucketed, plain]) is None
+        with pytest.warns(RuntimeWarning, match="single-payload"):
+            assert timeline.bucket_communication_times([bucketed, plain]) is None
+        # The warning fires once per process, not once per iteration.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert timeline.bucket_communication_times([bucketed, plain]) is None
+
+    def test_mismatched_bucket_counts_fall_back_with_warning(self, monkeypatch):
+        from repro.distributed import timeline as timeline_module
+        from repro.pipeline import CompressionPipeline
+
+        monkeypatch.setattr(timeline_module, "_BUCKET_FALLBACK_WARNED", set())
+        timeline = _timeline(workers=2)
+        gradient = realistic_gradient(20_000, seed=13)
+        coarse = CompressionPipeline(create_compressor("topk"), bucket_bytes=16_000)
+        fine = CompressionPipeline(create_compressor("topk"), bucket_bytes=8_000)
+        results = [coarse.compress(gradient, 0.05), fine.compress(gradient, 0.05)]
+        with pytest.warns(RuntimeWarning, match="disagree"):
+            assert timeline.bucket_communication_times(results) is None
+
+    def test_each_fallback_category_warns_independently(self, monkeypatch):
+        # Warning about one misconfiguration must not suppress the warning for
+        # a different one later in the same process.
+        from repro.distributed import timeline as timeline_module
+        from repro.pipeline import CompressionPipeline
+
+        monkeypatch.setattr(timeline_module, "_BUCKET_FALLBACK_WARNED", set())
+        timeline = _timeline(workers=2)
+        gradient = realistic_gradient(20_000, seed=13)
+        bucketed = self._bucketed_results()[0]
+        plain = create_compressor("topk").compress(gradient, 0.05)
+        with pytest.warns(RuntimeWarning, match="single-payload"):
+            timeline.bucket_communication_times([bucketed, plain])
+        fine = CompressionPipeline(create_compressor("topk"), bucket_bytes=8_000)
+        with pytest.warns(RuntimeWarning, match="disagree"):
+            timeline.bucket_communication_times([bucketed, fine.compress(gradient, 0.05)])
 
     def test_bucketing_pays_per_message_latency(self):
         # Identical total payload, but each bucket's all-gather pays the
@@ -152,3 +195,104 @@ class TestBucketedCommunication:
         assert sum(big.bucket_communication_times(results)) > sum(
             small.bucket_communication_times(results)
         )
+
+
+class TestOverlapPolicies:
+    """Event-driven overlap-aware pricing of the compressed iteration."""
+
+    def _bucketed_results(self, num_workers=2, bucket_bytes=16_000):
+        from repro.pipeline import CompressionPipeline
+
+        gradient = realistic_gradient(20_000, seed=13)
+        pipeline = CompressionPipeline(create_compressor("topk"), bucket_bytes=bucket_bytes)
+        return [pipeline.compress(gradient, 0.05) for _ in range(num_workers)]
+
+    def test_none_matches_pre_schedule_closed_form(self):
+        # The degenerate policy must reproduce the flat component sum the
+        # pre-refactor TimelineModel priced, to float tolerance.
+        timeline = _timeline(workers=2, dim=20_000, compute=0.02)
+        results = self._bucketed_results()
+        timing = timeline.compressed_iteration(results, overlap="none")
+        compression = max(timeline.device.trace_cost(r.ops) for r in results)
+        comm = sum(timeline.bucket_communication_times(results))
+        assert timing.schedule is None
+        assert timing.total == pytest.approx(timeline.compute_seconds + compression + comm)
+        assert timing.total == pytest.approx(timing.serialized)
+
+    def test_overlap_policies_strictly_faster_on_multi_bucket(self):
+        timeline = _timeline(workers=2, dim=20_000, compute=0.02)
+        results = self._bucketed_results()
+        assert results[0].metadata["num_buckets"] > 1
+        none = timeline.compressed_iteration(results, overlap="none")
+        comm = timeline.compressed_iteration(results, overlap="comm")
+        both = timeline.compressed_iteration(results, overlap="comm+compress")
+        assert comm.total < none.total
+        assert both.total < none.total
+        assert both.total <= comm.total
+        # Components are policy-independent; only the composition changes.
+        for timing in (comm, both):
+            assert timing.compression == pytest.approx(none.compression)
+            assert timing.communication == pytest.approx(none.communication)
+            assert timing.serialized == pytest.approx(none.total)
+            assert 0.0 < timing.overlap_saving < 1.0
+
+    def test_schedule_trace_attached_and_consistent(self):
+        timeline = _timeline(workers=2, dim=20_000, compute=0.02)
+        results = self._bucketed_results()
+        timing = timeline.compressed_iteration(results, overlap="comm+compress")
+        schedule = timing.schedule
+        assert schedule is not None
+        assert schedule.policy == "comm+compress"
+        assert len(schedule.events) == results[0].metadata["num_buckets"]
+        assert timing.total == pytest.approx(schedule.iteration_seconds)
+        assert schedule.total_comm_seconds == pytest.approx(timing.communication)
+        assert schedule.total_compress_seconds == pytest.approx(timing.compression)
+
+    def test_instance_default_policy_used(self):
+        results = self._bucketed_results()
+        base = dict(
+            network=NetworkModel(bandwidth_gbps=10.0, latency_s=1e-5, efficiency=1.0),
+            device=GPU_V100,
+            compute_seconds=0.02,
+            num_workers=2,
+            model_dimension=20_000,
+        )
+        serial = TimelineModel(**base)  # default overlap="none"
+        overlapped = TimelineModel(**base, overlap="comm+compress")
+        assert overlapped.compressed_iteration(results).total < serial.compressed_iteration(results).total
+
+    def test_unbucketed_results_ignore_overlap_policy(self):
+        gradient = realistic_gradient(20_000, seed=13)
+        results = [create_compressor("topk").compress(gradient, 0.05) for _ in range(2)]
+        timeline = _timeline(workers=2, dim=20_000)
+        none = timeline.compressed_iteration(results, overlap="none")
+        both = timeline.compressed_iteration(results, overlap="comm+compress")
+        assert both.schedule is None
+        assert both.total == pytest.approx(none.total)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            _timeline().compressed_iteration(self._bucketed_results(), overlap="pipelined")
+        with pytest.raises(ValueError):
+            TimelineModel(
+                NetworkModel(), GPU_V100, compute_seconds=0.0, num_workers=2,
+                model_dimension=10, overlap="everything",
+            )
+
+    def test_layer_aware_ready_fractions_feed_schedule(self):
+        # Layer-aware pipelines record per-bucket ready fractions; the
+        # comm+compress schedule must start early buckets before backprop ends.
+        from repro.pipeline import CompressionPipeline
+        from repro.tensor.flatten import FlatSpec
+
+        spec = FlatSpec.from_named_shapes({f"layer{i}": (50, 40) for i in range(10)})
+        gradient = realistic_gradient(spec.total_size, seed=3)
+        pipeline = CompressionPipeline(
+            create_compressor("topk"), bucket_bytes=4_000 * 8, element_bytes=8, flat_spec=spec
+        )
+        results = [pipeline.compress(gradient, 0.05) for _ in range(2)]
+        assert results[0].metadata["layer_aware"]
+        timeline = _timeline(workers=2, dim=spec.total_size, compute=0.05)
+        timing = timeline.compressed_iteration(results, overlap="comm+compress")
+        last_bucket = timing.schedule.events[-1]
+        assert last_bucket.compress_start < timeline.compute_seconds

@@ -4,7 +4,12 @@ from dataclasses import dataclass
 
 import pytest
 
-from repro.harness import format_series, format_speedup_summary, format_table
+from repro.harness import (
+    format_overlap_summary,
+    format_series,
+    format_speedup_summary,
+    format_table,
+)
 
 
 @dataclass
@@ -45,6 +50,26 @@ class TestFormatSeries:
     def test_length_mismatch_rejected(self):
         with pytest.raises(ValueError):
             format_series("x", [1, 2], [1])
+
+
+class TestOverlapSummary:
+    def test_renders_overlapped_vs_serialized(self):
+        rows = [
+            {
+                "compressor": "sidco-e",
+                "overlap": "comm+compress",
+                "total_time": 0.8,
+                "serialized_time": 1.0,
+                "overlap_saving": 0.2,
+            },
+            {"compressor": "topk", "overlap": "none", "total_time": 1.0},
+        ]
+        text = format_overlap_summary(rows)
+        assert "sidco-e" in text and "comm+compress" in text
+        assert "serialized=1" in text
+        assert "saved=20%" in text
+        # Rows without overlap fields degrade to serialized == overlapped.
+        assert "topk" in text and "saved=0%" in text
 
 
 class TestSpeedupSummary:

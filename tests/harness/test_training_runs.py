@@ -42,3 +42,33 @@ class TestCompareCompressors:
         for row in comparison.rows:
             low, high = row.estimation_quality_ci
             assert low <= row.estimation_quality <= high
+
+
+class TestOverlapThreading:
+    def test_run_benchmark_threads_overlap_policy(self):
+        kwargs = dict(num_workers=2, iterations=8, seed=0, bucket_bytes=256 * 1024)
+        serial = run_benchmark("vgg16-cifar10", "topk", 0.01, overlap="none", **kwargs)
+        overlapped = run_benchmark("vgg16-cifar10", "topk", 0.01, overlap="comm+compress", **kwargs)
+        assert serial.config.overlap == "none"
+        assert overlapped.config.overlap == "comm+compress"
+        # Same training math, strictly less simulated wall-clock.
+        assert overlapped.metrics.total_time < serial.metrics.total_time
+        assert overlapped.metrics.serialized_total_time == pytest.approx(
+            serial.metrics.total_time, rel=1e-9
+        )
+
+    def test_compare_compressors_reports_overlap_columns(self):
+        comparison = compare_compressors(
+            "resnet20-cifar10",
+            ("topk",),
+            (0.01,),
+            num_workers=2,
+            iterations=6,
+            seed=0,
+            bucket_bytes=64 * 1024,
+            overlap="comm",
+        )
+        row = comparison.rows[0]
+        assert row.overlap == "comm"
+        assert row.serialized_time >= row.total_time
+        assert 0.0 <= row.overlap_saving < 1.0

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.compressors import OpRecord
-from repro.perfmodel import DeviceProfile, PRIMITIVES, breakdown, scale_ops
+from repro.perfmodel import DeviceProfile, PRIMITIVES, breakdown, distribute_cost, scale_ops
 
 
 def _profile(launch=1e-6):
@@ -65,3 +65,22 @@ class TestScaleOps:
     def test_invalid_factor_rejected(self):
         with pytest.raises(ValueError):
             scale_ops([], 0.0)
+
+
+class TestDistributeCost:
+    def test_proportional_split_sums_to_total(self):
+        parts = distribute_cost(1.0, [100, 300, 100])
+        assert parts.tolist() == pytest.approx([0.2, 0.6, 0.2])
+        assert float(parts.sum()) == pytest.approx(1.0)
+
+    def test_zero_weights_fall_back_to_equal_split(self):
+        parts = distribute_cost(0.9, [0, 0, 0])
+        assert parts.tolist() == pytest.approx([0.3, 0.3, 0.3])
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            distribute_cost(-1.0, [1])
+        with pytest.raises(ValueError):
+            distribute_cost(1.0, [])
+        with pytest.raises(ValueError):
+            distribute_cost(1.0, [1, -1])

@@ -15,11 +15,24 @@ from .schedule import (
     BucketEvent,
     BucketTask,
     IterationSchedule,
+    PhaseEvent,
     ready_times_from_fractions,
     simulate_iteration,
     validate_overlap,
 )
 from .timeline import IterationTiming, TimelineModel, compute_time_for_overhead
+from .topology import (
+    COLLECTIVE_ALGORITHMS,
+    COLLECTIVE_OPS,
+    TOPOLOGIES,
+    ClusterTopology,
+    CollectiveCost,
+    CollectiveModel,
+    CollectivePhase,
+    get_collective_algorithm,
+    get_topology,
+    hierarchical_crossover_factor,
+)
 from .trainer import (
     DistributedTrainer,
     TrainerConfig,
@@ -31,17 +44,25 @@ from .worker import Worker, WorkerStep
 __all__ = [
     "CLUSTER_ETHERNET_10G",
     "CLUSTER_ETHERNET_25G",
+    "COLLECTIVE_ALGORITHMS",
+    "COLLECTIVE_OPS",
     "NETWORKS",
     "NODE_INFINIBAND_100G",
     "OVERLAP_POLICIES",
+    "TOPOLOGIES",
     "BucketEvent",
     "BucketTask",
+    "ClusterTopology",
+    "CollectiveCost",
+    "CollectiveModel",
+    "CollectivePhase",
     "CollectiveResult",
     "DistributedTrainer",
     "IterationRecord",
     "IterationSchedule",
     "IterationTiming",
     "NetworkModel",
+    "PhaseEvent",
     "TimelineModel",
     "TrainerConfig",
     "TrainingMetrics",
@@ -51,7 +72,10 @@ __all__ = [
     "allgather_sparse",
     "allreduce_dense",
     "compute_time_for_overhead",
+    "get_collective_algorithm",
     "get_network",
+    "get_topology",
+    "hierarchical_crossover_factor",
     "ready_times_from_fractions",
     "simulate_iteration",
     "train_baseline_and_compressed",

@@ -87,12 +87,20 @@ NETWORKS: dict[str, NetworkModel] = {
 }
 
 
-def get_network(name: str) -> NetworkModel:
-    """Look up a predefined network model (``10g``, ``25g``, ``100g``) or by full name."""
+def lookup_preset(registry: dict, name: str, kind: str):
+    """Resolve a preset by short key or full ``.name``; the error lists both forms."""
     key = name.lower()
-    if key in NETWORKS:
-        return NETWORKS[key]
-    for model in NETWORKS.values():
+    if key in registry:
+        return registry[key]
+    for model in registry.values():
         if model.name == key:
             return model
-    raise ValueError(f"unknown network {name!r}; known: {sorted(NETWORKS)}")
+    full_names = sorted(model.name for model in registry.values())
+    raise ValueError(
+        f"unknown {kind} {name!r}; known: {sorted(registry)} (full names: {full_names})"
+    )
+
+
+def get_network(name: str) -> NetworkModel:
+    """Look up a predefined network model (``10g``, ``25g``, ``100g``) or by full name."""
+    return lookup_preset(NETWORKS, name, "network")

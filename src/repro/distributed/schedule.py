@@ -56,12 +56,20 @@ def validate_overlap(policy: str) -> str:
 
 @dataclass(frozen=True)
 class BucketTask:
-    """Work one gradient bucket contributes to the iteration (durations in seconds)."""
+    """Work one gradient bucket contributes to the iteration (durations in seconds).
+
+    ``comm_phases`` optionally breaks the bucket's collective into named serial
+    phases (``(name, seconds)`` pairs — e.g. the intra-gather / inter-allgather
+    / intra-broadcast phases of a hierarchical all-gather).  When given, the
+    phase durations must sum to ``comm_seconds`` and the schedule records one
+    sub-span per phase inside the bucket's network occupancy.
+    """
 
     index: int
     ready_seconds: float
     compress_seconds: float
     comm_seconds: float
+    comm_phases: tuple[tuple[str, float], ...] = ()
 
     def __post_init__(self) -> None:
         if self.index < 0:
@@ -69,11 +77,35 @@ class BucketTask:
         for name in ("ready_seconds", "compress_seconds", "comm_seconds"):
             if getattr(self, name) < 0.0:
                 raise ValueError(f"{name} must be non-negative, got {getattr(self, name)}")
+        phases = tuple((str(name), float(seconds)) for name, seconds in self.comm_phases)
+        object.__setattr__(self, "comm_phases", phases)
+        if phases:
+            if any(seconds < 0.0 for _, seconds in phases):
+                raise ValueError("comm phase durations must be non-negative")
+            total = sum(seconds for _, seconds in phases)
+            if abs(total - self.comm_seconds) > 1e-9 * max(1.0, self.comm_seconds):
+                raise ValueError(
+                    f"comm_phases sum to {total!r} but comm_seconds is {self.comm_seconds!r}"
+                )
+
+
+@dataclass(frozen=True)
+class PhaseEvent:
+    """Absolute start/end of one named collective phase on the network lane."""
+
+    name: str
+    start: float
+    end: float
 
 
 @dataclass(frozen=True)
 class BucketEvent:
-    """Scheduled start/end times of one bucket's compress and all-gather jobs."""
+    """Scheduled start/end times of one bucket's compress and all-gather jobs.
+
+    ``phases`` subdivides ``[comm_start, comm_end]`` into the collective's
+    serial phases when the task carried a per-phase breakdown (empty for
+    single-phase collectives priced as one span).
+    """
 
     index: int
     ready: float
@@ -81,6 +113,7 @@ class BucketEvent:
     compress_end: float
     comm_start: float
     comm_end: float
+    phases: tuple[PhaseEvent, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -158,6 +191,15 @@ def simulate_iteration(
         start = max(gate, comm_free)
         end = start + task.comm_seconds
         comm_free = end
+        phases: list[PhaseEvent] = []
+        if task.comm_phases:
+            cursor = start
+            for phase_index, (name, seconds) in enumerate(task.comm_phases):
+                # The last phase absorbs any accumulated rounding so the phase
+                # spans tile [comm_start, comm_end] exactly.
+                phase_end = end if phase_index == len(task.comm_phases) - 1 else cursor + seconds
+                phases.append(PhaseEvent(name=name, start=cursor, end=phase_end))
+                cursor = phase_end
         events.append(
             BucketEvent(
                 index=task.index,
@@ -166,6 +208,7 @@ def simulate_iteration(
                 compress_end=compress_end,
                 comm_start=start,
                 comm_end=end,
+                phases=tuple(phases),
             )
         )
     events.sort(key=lambda e: e.index)

@@ -36,6 +36,7 @@ from .schedule import (
     simulate_iteration,
     validate_overlap,
 )
+from .topology import CollectiveCost, CollectiveModel
 
 #: One-shot-per-category guard so a long training run does not spam the
 #: inconsistent-metadata warning every iteration, while a *different* kind of
@@ -90,7 +91,13 @@ class IterationTiming:
 
 @dataclass(frozen=True)
 class TimelineModel:
-    """Prices one iteration of synchronous data-parallel training."""
+    """Prices one iteration of synchronous data-parallel training.
+
+    Communication is priced by the collective-algorithm layer
+    (:class:`~repro.distributed.topology.CollectiveModel`).  When no explicit
+    ``collective`` is given, a degenerate single-level model over ``network``
+    is built — which reproduces the pre-topology closed forms exactly.
+    """
 
     network: NetworkModel
     device: DeviceProfile
@@ -107,6 +114,13 @@ class TimelineModel:
     #: compute/compression) or ``"comm+compress"`` (compression additionally
     #: overlaps backprop at per-bucket gradient-ready times).
     overlap: str = "none"
+    #: Topology + collective algorithms pricing every collective.  ``None``
+    #: builds the degenerate single-level model over ``network``.  When an
+    #: explicit model is given it is the sole source of communication prices:
+    #: ``network`` then only seeds helpers that predate the topology layer
+    #: (e.g. :func:`compute_time_for_overhead`) and its links need not match
+    #: the topology's.
+    collective: CollectiveModel | None = None
 
     def __post_init__(self) -> None:
         if self.compute_seconds < 0.0 or self.update_seconds < 0.0:
@@ -118,6 +132,15 @@ class TimelineModel:
         if self.dimension_scale <= 0.0:
             raise ValueError("dimension_scale must be positive")
         validate_overlap(self.overlap)
+        if self.collective is None:
+            object.__setattr__(
+                self, "collective", CollectiveModel.flat(self.network, self.num_workers)
+            )
+        elif self.collective.num_workers != self.num_workers:
+            raise ValueError(
+                f"collective topology has {self.collective.num_workers} workers "
+                f"but the timeline models {self.num_workers}"
+            )
 
     def baseline_iteration(self) -> IterationTiming:
         """Iteration timing with no compression (dense all-reduce).
@@ -126,7 +149,7 @@ class TimelineModel:
         structure to overlap and every policy prices it identically.
         """
         dense_bytes = self.model_dimension * self.dimension_scale * FLOAT_BYTES
-        comm = self.network.allreduce_time(dense_bytes, self.num_workers)
+        comm = self.collective.allreduce_time(dense_bytes)
         return IterationTiming(
             compute=self.compute_seconds,
             compression=0.0,
@@ -152,16 +175,16 @@ class TimelineModel:
             raise ValueError("need at least one worker result")
         policy = validate_overlap(self.overlap if overlap is None else overlap)
         compression = max(self.device.trace_cost(self._scaled_ops(r)) for r in worker_results)
-        bucket_times = self.bucket_communication_times(worker_results)
-        if bucket_times is not None:
-            comm = float(sum(bucket_times))
+        bucket_costs = self.bucket_communication_costs(worker_results)
+        if bucket_costs is not None:
+            comm = float(sum(cost.total for cost in bucket_costs))
         else:
             payload = max(r.sparse.payload_bytes() for r in worker_results) * self.dimension_scale
-            comm = self.network.allgather_time(payload, self.num_workers)
+            comm = self.collective.allgather_time(payload)
         schedule = None
-        if policy != "none" and bucket_times is not None:
+        if policy != "none" and bucket_costs is not None:
             schedule = self._bucket_schedule(
-                worker_results[0].metadata, bucket_times, compression, policy
+                worker_results[0].metadata, bucket_costs, compression, policy
             )
         return IterationTiming(
             compute=self.compute_seconds,
@@ -175,12 +198,12 @@ class TimelineModel:
     def _bucket_schedule(
         self,
         metadata: dict,
-        bucket_times: list[float],
+        bucket_costs: list[CollectiveCost],
         compression_seconds: float,
         policy: str,
     ) -> IterationSchedule:
         """Place per-bucket compress/all-gather jobs on the event timeline."""
-        num_buckets = len(bucket_times)
+        num_buckets = len(bucket_costs)
         sizes = metadata.get("bucket_sizes")
         if sizes is None or len(sizes) != num_buckets:
             sizes = [1] * num_buckets  # equal split when the layout is unknown
@@ -202,7 +225,10 @@ class TimelineModel:
                 index=i,
                 ready_seconds=ready_seconds[i],
                 compress_seconds=float(compress_seconds[i]),
-                comm_seconds=float(bucket_times[i]),
+                comm_seconds=float(bucket_costs[i].total),
+                comm_phases=tuple(
+                    (phase.name, phase.seconds) for phase in bucket_costs[i].phases
+                ),
             )
             for i in range(num_buckets)
         ]
@@ -216,7 +242,16 @@ class TimelineModel:
     def bucket_communication_times(
         self, worker_results: list[CompressionResult]
     ) -> list[float] | None:
-        """Per-bucket all-gather times, or ``None`` if the results are unbucketed.
+        """Per-bucket all-gather times, or ``None`` if the results are unbucketed."""
+        costs = self.bucket_communication_costs(worker_results)
+        if costs is None:
+            return None
+        return [cost.total for cost in costs]
+
+    def bucket_communication_costs(
+        self, worker_results: list[CompressionResult]
+    ) -> list[CollectiveCost] | None:
+        """Per-bucket all-gather cost breakdowns, or ``None`` if the results are unbucketed.
 
         Bucket ``i`` of the synchronous all-gather completes when the slowest
         worker's bucket-``i`` payload has made it around the ring, so each
@@ -248,7 +283,7 @@ class TimelineModel:
             return None
         per_bucket_max = (max(worker[i] for worker in payload_lists) for i in range(len(payload_lists[0])))
         return [
-            self.network.allgather_time(payload * self.dimension_scale, self.num_workers)
+            self.collective.allgather_cost(payload * self.dimension_scale)
             for payload in per_bucket_max
         ]
 

@@ -1,0 +1,480 @@
+"""Two-level cluster topology and pluggable collective-algorithm models.
+
+The paper's speed-ups come from two very different fabrics — a TCP 10/25 Gbps
+Ethernet cluster of single-GPU servers (Appendix D, Cluster 1) and a 100 Gbps
+InfiniBand fabric inside one 8-GPU node (Cluster 2).  A single flat
+:class:`~repro.distributed.network.NetworkModel` link cannot express the
+difference, nor can one closed form express the algorithms real stacks choose
+per fabric (ring vs recursive doubling, flat vs hierarchical sparse
+all-gather).
+
+This module models both dimensions:
+
+* :class:`ClusterTopology` — ``num_nodes`` x ``devices_per_node`` workers with
+  an *intra-node* link (NVLink/InfiniBand inside a server) and an *inter-node*
+  link (the Ethernet between servers).  ``devices_per_node == 1`` or
+  ``num_nodes == 1`` degenerates to the old single-level model.
+* Collective algorithms — ``ring-allreduce``, ``recursive-doubling``,
+  ``flat-allgather`` and ``hierarchical`` — each returning a
+  :class:`CollectiveCost` whose per-phase breakdown sums exactly to the total,
+  so the event-driven iteration schedule can place every phase on the network
+  lane.
+* :class:`CollectiveModel` — a topology plus one algorithm choice per
+  operation; the single-level case with ``ring-allreduce``/``flat-allgather``
+  reproduces ``NetworkModel.allreduce_time``/``allgather_time`` bit-for-bit
+  (the golden tests pin this), which is what makes the refactor safe.
+
+Sparse all-gather payloads grow with the participant count (every worker
+contributes its own (index, value) selection), which is why the hierarchical
+algorithm helps: the inter-node ring exchanges one node-aggregated payload per
+node instead of one per device.  The price is that the aggregate must also be
+distributed *inside* each node, so hierarchical only wins when the intra-node
+link is sufficiently faster than the inter-node link — see
+:func:`hierarchical_crossover_factor` for the exact sufficient condition.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .network import (
+    CLUSTER_ETHERNET_10G,
+    CLUSTER_ETHERNET_25G,
+    NODE_INFINIBAND_100G,
+    NetworkModel,
+    lookup_preset,
+)
+
+#: Collective operations the algorithm layer knows how to price.
+COLLECTIVE_OPS: tuple[str, ...] = ("allreduce", "allgather")
+
+
+@dataclass(frozen=True)
+class ClusterTopology:
+    """A two-level cluster: ``num_nodes`` servers with ``devices_per_node`` workers each.
+
+    ``intra_node`` prices traffic between devices inside one server,
+    ``inter_node`` prices traffic between servers.  Either level may be
+    trivial (``num_nodes == 1`` or ``devices_per_node == 1``), in which case
+    the topology is *single-level* and every collective runs over the one
+    non-trivial link.
+    """
+
+    num_nodes: int
+    devices_per_node: int
+    inter_node: NetworkModel
+    intra_node: NetworkModel
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1:
+            raise ValueError("num_nodes must be >= 1")
+        if self.devices_per_node < 1:
+            raise ValueError("devices_per_node must be >= 1")
+
+    @property
+    def num_workers(self) -> int:
+        return self.num_nodes * self.devices_per_node
+
+    @property
+    def is_single_level(self) -> bool:
+        """True when at most one of the two levels has more than one participant."""
+        return self.num_nodes == 1 or self.devices_per_node == 1
+
+    @property
+    def bottleneck_link(self) -> NetworkModel:
+        """The link a flat (topology-oblivious) collective is gated by.
+
+        A ring laid out node-by-node advances every step at the pace of its
+        slowest hop: the inter-node link whenever the ring spans several
+        nodes, the intra-node link only inside a single server.
+        """
+        return self.inter_node if self.num_nodes > 1 else self.intra_node
+
+    @classmethod
+    def flat(cls, network: NetworkModel, num_workers: int, *, name: str = "") -> "ClusterTopology":
+        """The degenerate single-level topology: every worker on one shared link."""
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        return cls(
+            num_nodes=num_workers,
+            devices_per_node=1,
+            inter_node=network,
+            intra_node=network,
+            name=name or f"flat-{network.name}-x{num_workers}",
+        )
+
+
+@dataclass(frozen=True)
+class CollectivePhase:
+    """One serial phase of a collective: where it runs, how long, how much it moves."""
+
+    name: str
+    link: str
+    seconds: float
+    volume_bytes: float = 0.0
+
+
+@dataclass(frozen=True)
+class CollectiveCost:
+    """Per-phase cost breakdown of one collective operation.
+
+    ``total`` is always the plain sum of the phase durations — phases are
+    serial (phase *k+1* consumes phase *k*'s output), which is what lets the
+    schedule simulator place them back-to-back on the network lane.
+    """
+
+    op: str
+    algorithm: str
+    num_workers: int
+    phases: tuple[CollectivePhase, ...] = ()
+
+    @property
+    def total(self) -> float:
+        total = 0.0
+        for phase in self.phases:
+            total += phase.seconds
+        return total
+
+    @property
+    def volume_bytes(self) -> float:
+        return sum(phase.volume_bytes for phase in self.phases)
+
+
+def _check_payload(num_bytes: float) -> None:
+    if num_bytes < 0:
+        raise ValueError("payload bytes must be non-negative")
+
+
+class CollectiveAlgorithm:
+    """Base class: prices one or both collective ops over a :class:`ClusterTopology`."""
+
+    name: str = ""
+    supported_ops: tuple[str, ...] = ()
+
+    def cost(self, topology: ClusterTopology, op: str, num_bytes: float) -> CollectiveCost:
+        if op not in COLLECTIVE_OPS:
+            raise ValueError(f"unknown collective op {op!r}; known: {list(COLLECTIVE_OPS)}")
+        if op not in self.supported_ops:
+            raise ValueError(
+                f"algorithm {self.name!r} does not model {op!r}; "
+                f"it supports {list(self.supported_ops)}"
+            )
+        _check_payload(num_bytes)
+        phases = getattr(self, "_" + op)(topology, num_bytes)
+        return CollectiveCost(
+            op=op, algorithm=self.name, num_workers=topology.num_workers, phases=tuple(phases)
+        )
+
+
+class RingAllreduce(CollectiveAlgorithm):
+    """Ring all-reduce: reduce-scatter then all-gather, ``2(N-1)`` chunk steps.
+
+    On a single-level topology the two phases sum exactly to
+    ``NetworkModel.allreduce_time`` (each phase is ``(N-1)`` steps of one
+    ``1/N`` chunk; doubling a float is exact, so the split is lossless).
+    """
+
+    name = "ring-allreduce"
+    supported_ops = ("allreduce",)
+
+    def _allreduce(self, topology: ClusterTopology, num_bytes: float) -> list[CollectivePhase]:
+        n = topology.num_workers
+        if n == 1:
+            return []
+        link = topology.bottleneck_link
+        chunk = num_bytes / n
+        seconds = (n - 1) * (link.latency_s + chunk / link.bytes_per_second)
+        volume = (n - 1) * chunk
+        return [
+            CollectivePhase("reduce-scatter", link.name, seconds, volume),
+            CollectivePhase("ring-allgather", link.name, seconds, volume),
+        ]
+
+
+class RecursiveDoubling(CollectiveAlgorithm):
+    """Recursive doubling: ``ceil(log2 N)`` rounds of pairwise exchange.
+
+    All-reduce exchanges the full buffer every round (few latencies, more
+    bytes — the latency-bound regime ring all-reduce loses in).  All-gather
+    doubles the gathered block every round, so the total volume matches the
+    ring's ``(N-1)`` payloads while paying only ``log2 N`` latencies.
+    """
+
+    name = "recursive-doubling"
+    supported_ops = ("allreduce", "allgather")
+
+    def _allreduce(self, topology: ClusterTopology, num_bytes: float) -> list[CollectivePhase]:
+        n = topology.num_workers
+        if n == 1:
+            return []
+        link = topology.bottleneck_link
+        rounds = math.ceil(math.log2(n))
+        return [
+            CollectivePhase(
+                f"round-{k}",
+                link.name,
+                link.latency_s + num_bytes / link.bytes_per_second,
+                num_bytes,
+            )
+            for k in range(rounds)
+        ]
+
+    def _allgather(self, topology: ClusterTopology, num_bytes: float) -> list[CollectivePhase]:
+        n = topology.num_workers
+        if n == 1:
+            return []
+        link = topology.bottleneck_link
+        rounds = math.ceil(math.log2(n))
+        phases = []
+        for k in range(rounds):
+            block = min(2**k, n - 2**k) * num_bytes
+            phases.append(
+                CollectivePhase(
+                    f"round-{k}",
+                    link.name,
+                    link.latency_s + block / link.bytes_per_second,
+                    block,
+                )
+            )
+        return phases
+
+
+class FlatAllgather(CollectiveAlgorithm):
+    """Topology-oblivious ring all-gather: ``N-1`` steps of one payload each.
+
+    The single-level case is, expression for expression, the old
+    ``NetworkModel.allgather_time`` closed form; on a multi-node topology
+    every step is gated by the inter-node hop (see
+    :attr:`ClusterTopology.bottleneck_link`).
+    """
+
+    name = "flat-allgather"
+    supported_ops = ("allgather",)
+
+    def _allgather(self, topology: ClusterTopology, num_bytes: float) -> list[CollectivePhase]:
+        n = topology.num_workers
+        if n == 1:
+            return []
+        link = topology.bottleneck_link
+        steps = n - 1
+        seconds = steps * (link.latency_s + num_bytes / link.bytes_per_second)
+        return [CollectivePhase("ring-allgather", link.name, seconds, steps * num_bytes)]
+
+
+class Hierarchical(CollectiveAlgorithm):
+    """Two-level collective: intra-node reduce/gather → inter-node exchange → intra-node broadcast.
+
+    *All-gather* (sparse payloads, one per worker): each node ring-gathers its
+    ``D`` device payloads to a leader over the intra-node link, the ``M``
+    leaders ring-all-gather their ``D``-payload aggregates over the inter-node
+    link, and each leader broadcasts the full ``N``-payload result back to its
+    devices.  The inter-node ring thus runs ``M-1`` steps instead of ``N-1``
+    and its sparse volume grows with the *node* count, not the device count.
+
+    *All-reduce* (dense): binomial-tree reduce to the node leader, ring
+    all-reduce among leaders, binomial broadcast back — volume does not grow
+    with participants, so the win is purely fewer inter-node latencies/steps.
+
+    Degenerate cases collapse exactly: ``devices_per_node == 1`` leaves only
+    the inter-node phase (identical to the flat/ring algorithm), ``num_nodes
+    == 1`` leaves only the intra-node phases, and one worker costs zero.
+    """
+
+    name = "hierarchical"
+    supported_ops = ("allreduce", "allgather")
+
+    def _allgather(self, topology: ClusterTopology, num_bytes: float) -> list[CollectivePhase]:
+        m, d, n = topology.num_nodes, topology.devices_per_node, topology.num_workers
+        intra, inter = topology.intra_node, topology.inter_node
+        phases = []
+        if d > 1:
+            seconds = (d - 1) * (intra.latency_s + num_bytes / intra.bytes_per_second)
+            phases.append(
+                CollectivePhase("intra-gather", intra.name, seconds, (d - 1) * num_bytes)
+            )
+        if m > 1:
+            node_payload = d * num_bytes
+            seconds = (m - 1) * (inter.latency_s + node_payload / inter.bytes_per_second)
+            phases.append(
+                CollectivePhase("inter-allgather", inter.name, seconds, (m - 1) * node_payload)
+            )
+        if d > 1:
+            gathered = (n - 1) * num_bytes
+            seconds = intra.latency_s + gathered / intra.bytes_per_second
+            phases.append(CollectivePhase("intra-broadcast", intra.name, seconds, gathered))
+        return phases
+
+    def _allreduce(self, topology: ClusterTopology, num_bytes: float) -> list[CollectivePhase]:
+        m, d = topology.num_nodes, topology.devices_per_node
+        intra, inter = topology.intra_node, topology.inter_node
+        phases = []
+        tree_rounds = math.ceil(math.log2(d)) if d > 1 else 0
+        tree_seconds = tree_rounds * (intra.latency_s + num_bytes / intra.bytes_per_second)
+        if d > 1:
+            phases.append(
+                CollectivePhase("intra-reduce", intra.name, tree_seconds, tree_rounds * num_bytes)
+            )
+        if m > 1:
+            chunk = num_bytes / m
+            seconds = 2 * (m - 1) * (inter.latency_s + chunk / inter.bytes_per_second)
+            phases.append(
+                CollectivePhase("inter-allreduce", inter.name, seconds, 2 * (m - 1) * chunk)
+            )
+        if d > 1:
+            phases.append(
+                CollectivePhase(
+                    "intra-broadcast", intra.name, tree_seconds, tree_rounds * num_bytes
+                )
+            )
+        return phases
+
+
+#: Pluggable collective algorithms, keyed by name.
+COLLECTIVE_ALGORITHMS: dict[str, CollectiveAlgorithm] = {
+    algo.name: algo
+    for algo in (RingAllreduce(), RecursiveDoubling(), FlatAllgather(), Hierarchical())
+}
+
+
+def get_collective_algorithm(name: str, *, op: str | None = None) -> CollectiveAlgorithm:
+    """Look up a collective algorithm by name, optionally requiring ``op`` support."""
+    key = name.lower()
+    if key not in COLLECTIVE_ALGORITHMS:
+        raise ValueError(
+            f"unknown collective algorithm {name!r}; known: {sorted(COLLECTIVE_ALGORITHMS)}"
+        )
+    algorithm = COLLECTIVE_ALGORITHMS[key]
+    if op is not None and op not in algorithm.supported_ops:
+        raise ValueError(
+            f"collective algorithm {name!r} does not model {op!r}; "
+            f"it supports {list(algorithm.supported_ops)}"
+        )
+    return algorithm
+
+
+def hierarchical_crossover_factor(topology: ClusterTopology) -> float:
+    """Intra/inter effective-bandwidth ratio above which hierarchical all-gather always wins.
+
+    With serial phases, the hierarchical all-gather must move the full
+    ``(N-1)``-payload aggregate over the intra-node link (gather + broadcast)
+    to save ``D-1`` of every ``D`` payloads on the inter-node ring, so merely
+    matching the inter-node bandwidth is *not* enough — at equal bandwidths it
+    moves strictly more bytes than the flat ring.  Comparing the closed forms
+    (``p`` the per-worker payload, ``L/b`` latency and effective bandwidth,
+    ``a``/``i`` the intra/inter links)::
+
+        hierarchical <= flat
+          <=>  D*L_a + (N+D-2) * p/b_a  <=  (N-M)*L_i + (D-1) * p/b_i
+
+    which holds for *every* payload whenever ``L_a <= L_i`` (the intra fabric
+    is no slower to start a message; ``D <= N-M`` covers the latency terms)
+    and ``b_a >= b_i * (N+D-2)/(D-1)`` — the factor this function returns.
+    Multi-GPU servers clear it easily: the 4x8 Ethernet preset needs ~5.4x
+    and its InfiniBand intra-node link is ~17x the effective TCP rate.
+
+    Single-level topologies have nothing to cross over, so the factor is
+    ``inf`` (hierarchical degenerates to the flat algorithm instead).
+    """
+    if topology.is_single_level:
+        return math.inf
+    n, d = topology.num_workers, topology.devices_per_node
+    return (n + d - 2) / (d - 1)
+
+
+@dataclass(frozen=True)
+class CollectiveModel:
+    """A cluster topology plus one algorithm choice per collective operation.
+
+    The single-level model built by :meth:`flat` with the default algorithms
+    reproduces ``NetworkModel.allreduce_time``/``allgather_time`` exactly —
+    the old closed forms are the degenerate case of this layer.
+    """
+
+    topology: ClusterTopology
+    allreduce_algorithm: str = "ring-allreduce"
+    allgather_algorithm: str = "flat-allgather"
+
+    def __post_init__(self) -> None:
+        get_collective_algorithm(self.allreduce_algorithm, op="allreduce")
+        get_collective_algorithm(self.allgather_algorithm, op="allgather")
+
+    @property
+    def num_workers(self) -> int:
+        return self.topology.num_workers
+
+    @classmethod
+    def flat(cls, network: NetworkModel, num_workers: int, **kwargs) -> "CollectiveModel":
+        """Degenerate single-level model over one shared link (the pre-topology behaviour)."""
+        return cls(topology=ClusterTopology.flat(network, num_workers), **kwargs)
+
+    def allreduce_cost(self, num_bytes: float) -> CollectiveCost:
+        """Per-phase cost of all-reducing a dense buffer of ``num_bytes``."""
+        algorithm = get_collective_algorithm(self.allreduce_algorithm, op="allreduce")
+        return algorithm.cost(self.topology, "allreduce", num_bytes)
+
+    def allgather_cost(self, payload_bytes_per_worker: float) -> CollectiveCost:
+        """Per-phase cost of all-gathering one sparse payload per worker."""
+        algorithm = get_collective_algorithm(self.allgather_algorithm, op="allgather")
+        return algorithm.cost(self.topology, "allgather", payload_bytes_per_worker)
+
+    def allreduce_time(self, num_bytes: float) -> float:
+        return self.allreduce_cost(num_bytes).total
+
+    def allgather_time(self, payload_bytes_per_worker: float) -> float:
+        return self.allgather_cost(payload_bytes_per_worker).total
+
+
+#: Appendix D, Cluster 1: 8 single-GPU servers on 10 Gbps (or 25 Gbps) TCP
+#: Ethernet.  One device per node, so the intra-node link never carries
+#: collective traffic; it is set to the in-server InfiniBand-class bus for
+#: completeness.
+TOPOLOGY_CLUSTER1_10G = ClusterTopology(
+    num_nodes=8,
+    devices_per_node=1,
+    inter_node=CLUSTER_ETHERNET_10G,
+    intra_node=NODE_INFINIBAND_100G,
+    name="cluster1-ethernet-10g",
+)
+TOPOLOGY_CLUSTER1_25G = ClusterTopology(
+    num_nodes=8,
+    devices_per_node=1,
+    inter_node=CLUSTER_ETHERNET_25G,
+    intra_node=NODE_INFINIBAND_100G,
+    name="cluster1-ethernet-25g",
+)
+
+#: Appendix D, Cluster 2: one shared server with 8 GPUs on a 100 Gbps
+#: InfiniBand/NVLink-class fabric.  Single node, so the inter-node link is
+#: idle; it is set to the datacentre Ethernet the server hangs off.
+TOPOLOGY_CLUSTER2_100G = ClusterTopology(
+    num_nodes=1,
+    devices_per_node=8,
+    inter_node=CLUSTER_ETHERNET_10G,
+    intra_node=NODE_INFINIBAND_100G,
+    name="cluster2-infiniband-100g",
+)
+
+#: The two-level scaling scenario the hierarchical algorithms target: 4
+#: Cluster 2-class servers (8 devices each on InfiniBand) joined by Cluster
+#: 1's 10 Gbps TCP Ethernet.
+TOPOLOGY_ETHERNET_4X8 = ClusterTopology(
+    num_nodes=4,
+    devices_per_node=8,
+    inter_node=CLUSTER_ETHERNET_10G,
+    intra_node=NODE_INFINIBAND_100G,
+    name="ethernet-4x8",
+)
+
+TOPOLOGIES: dict[str, ClusterTopology] = {
+    "cluster1": TOPOLOGY_CLUSTER1_10G,
+    "cluster1-25g": TOPOLOGY_CLUSTER1_25G,
+    "cluster2": TOPOLOGY_CLUSTER2_100G,
+    "ethernet-4x8": TOPOLOGY_ETHERNET_4X8,
+}
+
+
+def get_topology(name: str) -> ClusterTopology:
+    """Look up a predefined cluster topology by short key or full name."""
+    return lookup_preset(TOPOLOGIES, name, "topology")

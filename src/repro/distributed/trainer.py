@@ -40,6 +40,12 @@ from .metrics import IterationRecord, TrainingMetrics
 from .network import CLUSTER_ETHERNET_10G, NetworkModel
 from .schedule import validate_overlap
 from .timeline import TimelineModel
+from .topology import (
+    ClusterTopology,
+    CollectiveModel,
+    get_collective_algorithm,
+    get_topology,
+)
 from .worker import Worker
 
 
@@ -76,6 +82,17 @@ class TrainerConfig:
     #: derive per-bucket gradient-ready times from reverse layer order.
     #: Ignored unless ``bucket_bytes`` is set.
     layer_aware_buckets: bool = True
+    #: Cluster topology the collectives run over: a preset name (``"cluster1"``,
+    #: ``"cluster2"``, ``"ethernet-4x8"``, ...), an explicit
+    #: :class:`~repro.distributed.topology.ClusterTopology`, or ``None`` for the
+    #: degenerate single-level topology over the trainer's network.  The
+    #: topology's worker count must match ``num_workers``.
+    topology: "str | ClusterTopology | None" = None
+    #: Collective algorithm pricing the dense baseline all-reduce.
+    allreduce_algorithm: str = "ring-allreduce"
+    #: Collective algorithm pricing the sparse all-gather (``"flat-allgather"``,
+    #: ``"recursive-doubling"`` or ``"hierarchical"``).
+    allgather_algorithm: str = "flat-allgather"
 
     def __post_init__(self) -> None:
         if self.num_workers < 1:
@@ -91,6 +108,30 @@ class TrainerConfig:
         if self.bucket_bytes is not None and self.bucket_bytes < 1:
             raise ValueError("bucket_bytes must be positive when set")
         validate_overlap(self.overlap)
+        get_collective_algorithm(self.allreduce_algorithm, op="allreduce")
+        get_collective_algorithm(self.allgather_algorithm, op="allgather")
+        if self.topology is not None:
+            # Fail fast like the algorithm fields: resolve preset names and
+            # check the worker count here, not at trainer construction.
+            resolved = (
+                get_topology(self.topology) if isinstance(self.topology, str) else self.topology
+            )
+            if resolved.num_workers != self.num_workers:
+                raise ValueError(
+                    f"topology {resolved.name or resolved!r} has {resolved.num_workers} "
+                    f"workers but num_workers is {self.num_workers}"
+                )
+            self.topology = resolved
+
+    def resolve_topology(self, network: NetworkModel) -> ClusterTopology:
+        """The cluster topology this config trains over.
+
+        ``None`` builds the degenerate single-level topology: every worker on
+        ``network``, which reproduces the pre-topology pricing exactly.
+        """
+        if self.topology is None:
+            return ClusterTopology.flat(network, self.num_workers)
+        return self.topology
 
 
 @dataclass
@@ -161,6 +202,11 @@ class DistributedTrainer:
             scheduler.optimizer = self.optimizer
 
         dimension = self.workers[0].flat_spec.total_size
+        self.collective = CollectiveModel(
+            topology=config.resolve_topology(network),
+            allreduce_algorithm=config.allreduce_algorithm,
+            allgather_algorithm=config.allgather_algorithm,
+        )
         self.timeline = TimelineModel(
             network=network,
             device=device,
@@ -169,6 +215,7 @@ class DistributedTrainer:
             model_dimension=dimension,
             dimension_scale=config.dimension_scale,
             overlap=config.overlap,
+            collective=self.collective,
         )
         self._warmup_compressor = NoCompression()
 

@@ -26,7 +26,13 @@ from .microbench import (
     run_synthetic_size_sweep,
     speedup_matrix,
 )
-from .reporting import format_overlap_summary, format_series, format_speedup_summary, format_table
+from .reporting import (
+    format_overlap_summary,
+    format_phase_breakdown,
+    format_series,
+    format_speedup_summary,
+    format_table,
+)
 from .training_runs import (
     BenchmarkComparison,
     BenchmarkRunRow,
@@ -51,6 +57,7 @@ __all__ = [
     "compressibility_study",
     "extract_traces",
     "format_overlap_summary",
+    "format_phase_breakdown",
     "format_series",
     "format_speedup_summary",
     "format_table",

@@ -63,6 +63,15 @@ class BenchmarkConfig:
     #: Overlap policy for the event-driven iteration schedule (``"none"``,
     #: ``"comm"`` or ``"comm+compress"``); meaningful for bucketed runs.
     overlap: str = "none"
+    #: Cluster-topology preset name (see :func:`repro.distributed.get_topology`)
+    #: the collectives run over; ``None`` keeps the degenerate single-level
+    #: topology over the run's network.  When set, the worker count comes from
+    #: the topology.
+    topology: str | None = None
+    #: Collective algorithm pricing the dense baseline all-reduce.
+    allreduce_algorithm: str = "ring-allreduce"
+    #: Collective algorithm pricing the sparse all-gather.
+    allgather_algorithm: str = "flat-allgather"
 
     def build_proxy_model(self, *, seed: int = 1):
         """Instantiate a freshly initialised proxy model."""

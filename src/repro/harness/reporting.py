@@ -89,6 +89,30 @@ def format_overlap_summary(rows) -> str:
     return "\n".join(["overlapped vs serialized iteration time:", *lines])
 
 
+def format_phase_breakdown(cost) -> str:
+    """Render a collective's per-phase cost breakdown as an aligned table.
+
+    Accepts a :class:`~repro.distributed.CollectiveCost` (or any object with
+    ``op``, ``algorithm``, ``num_workers`` and ``phases`` carrying ``name`` /
+    ``link`` / ``seconds`` / ``volume_bytes``) and shows where each serial
+    phase of the collective spends its time — the topology-aware counterpart
+    of the single-number `allgather_time`.
+    """
+    header = f"{cost.op} via {cost.algorithm} over {cost.num_workers} workers:"
+    if not cost.phases:
+        return "\n".join([header, "  (free: single participant)"])
+    lines = [header]
+    for phase in cost.phases:
+        lines.append(
+            f"  {phase.name:<16} link={phase.link:<16}"
+            f" t={_format_value(phase.seconds)}s"
+            f"  volume={_format_value(phase.volume_bytes)}B"
+        )
+    total = sum(phase.seconds for phase in cost.phases)
+    lines.append(f"  {'total':<16} {'':<21} t={_format_value(total)}s")
+    return "\n".join(lines)
+
+
 def format_speedup_summary(rows, *, group_by: str = "ratio") -> str:
     """Summarise benchmark-comparison rows grouped by ratio (the paper's bar groups)."""
     dict_rows = [_coerce_row(r) for r in rows]

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..distributed.network import CLUSTER_ETHERNET_10G, NetworkModel
+from ..distributed.topology import ClusterTopology, get_topology
 from ..distributed.trainer import DistributedTrainer, TrainerConfig, TrainingRunResult
 from ..gradients.capture import GradientCapture
 from ..perfmodel.costs import DeviceProfile
@@ -43,6 +44,9 @@ class BenchmarkRunRow:
     overlap: str = "none"
     serialized_time: float = 0.0
     overlap_saving: float = 0.0
+    #: Cluster topology and sparse-collective algorithm the run was priced on.
+    topology: str = "flat"
+    allgather_algorithm: str = "flat-allgather"
 
 
 @dataclass
@@ -55,12 +59,42 @@ class BenchmarkComparison:
     runs: dict[tuple[str, float], TrainingRunResult] = field(default_factory=dict)
 
 
+def _topology_label(config: TrainerConfig | None) -> str:
+    """Human-readable topology tag for a result row (``"flat"`` for single-level).
+
+    ``TrainerConfig.__post_init__`` resolves preset names, so a set topology is
+    always a :class:`ClusterTopology` here.
+    """
+    if config is None or config.topology is None:
+        return "flat"
+    return config.topology.name or (
+        f"{config.topology.num_nodes}x{config.topology.devices_per_node}"
+    )
+
+
 def _quality_from_evaluation(config: BenchmarkConfig, evaluation: dict[str, float]) -> float:
     """Map the run's evaluation dict onto the benchmark's 'higher is better' quality metric."""
     if config.quality_metric == "perplexity":
         # Lower perplexity is better; invert so speed-up math stays "higher is better".
         return 1.0 / max(evaluation["perplexity"], 1e-12)
     return evaluation["accuracy"]
+
+
+def _resolve_topology(
+    config: BenchmarkConfig,
+    topology: "str | ClusterTopology | None",
+    num_workers: int,
+) -> tuple["ClusterTopology | None", int]:
+    """Resolve the run's topology (override > benchmark preset) and worker count.
+
+    A topology fixes the worker count (nodes x devices), so when one is set it
+    wins over the ``num_workers`` argument.
+    """
+    chosen = topology if topology is not None else config.topology
+    if chosen is None:
+        return None, num_workers
+    resolved = get_topology(chosen) if isinstance(chosen, str) else chosen
+    return resolved, resolved.num_workers
 
 
 def _trainer_config(
@@ -73,6 +107,9 @@ def _trainer_config(
     network: NetworkModel,
     bucket_bytes: int | None = None,
     overlap: str | None = None,
+    topology: "ClusterTopology | None" = None,
+    allreduce_algorithm: str | None = None,
+    allgather_algorithm: str | None = None,
 ) -> TrainerConfig:
     return TrainerConfig(
         num_workers=num_workers,
@@ -89,6 +126,9 @@ def _trainer_config(
         dimension_scale=config.dimension_scale(),
         bucket_bytes=config.proxy_bucket_bytes(bucket_bytes),
         overlap=config.overlap if overlap is None else overlap,
+        topology=topology,
+        allreduce_algorithm=allreduce_algorithm or config.allreduce_algorithm,
+        allgather_algorithm=allgather_algorithm or config.allgather_algorithm,
     )
 
 
@@ -105,6 +145,9 @@ def run_benchmark(
     capture: GradientCapture | None = None,
     bucket_bytes: int | None = None,
     overlap: str | None = None,
+    topology: "str | ClusterTopology | None" = None,
+    allreduce_algorithm: str | None = None,
+    allgather_algorithm: str | None = None,
 ) -> TrainingRunResult:
     """Train one Table 1 proxy benchmark with one compressor and evaluate it.
 
@@ -113,14 +156,20 @@ def run_benchmark(
     full-size-model bytes per gradient bucket and rescaled to the proxy's
     dimension automatically.  ``overlap`` picks the iteration-schedule policy
     (``"none"``, ``"comm"``, ``"comm+compress"``; default: the benchmark
-    config's policy).
+    config's policy).  ``topology`` (a preset name or
+    :class:`~repro.distributed.ClusterTopology`) runs the collectives over a
+    two-level cluster — it fixes the worker count, overriding ``num_workers``
+    — and ``allreduce_algorithm``/``allgather_algorithm`` pick the collective
+    algorithms (default: the benchmark config's choices).
     """
     config = benchmark if isinstance(benchmark, BenchmarkConfig) else get_benchmark(benchmark)
+    resolved_topology, num_workers = _resolve_topology(config, topology, num_workers)
     dataset = config.build_proxy_dataset(seed=seed)
     model = config.build_proxy_model(seed=seed + 1)
     trainer_cfg = _trainer_config(
         config, ratio, num_workers=num_workers, iterations=iterations, seed=seed, network=network,
-        bucket_bytes=bucket_bytes, overlap=overlap,
+        bucket_bytes=bucket_bytes, overlap=overlap, topology=resolved_topology,
+        allreduce_algorithm=allreduce_algorithm, allgather_algorithm=allgather_algorithm,
     )
     trainer = DistributedTrainer(
         model,
@@ -146,12 +195,17 @@ def compare_compressors(
     device: DeviceProfile = GPU_V100,
     bucket_bytes: int | None = None,
     overlap: str | None = None,
+    topology: "str | ClusterTopology | None" = None,
+    allreduce_algorithm: str | None = None,
+    allgather_algorithm: str | None = None,
 ) -> BenchmarkComparison:
     """Run one benchmark for every (compressor, ratio) pair plus the dense baseline."""
     config = benchmark if isinstance(benchmark, BenchmarkConfig) else get_benchmark(benchmark)
     baseline = run_benchmark(
         config, "none", 1.0, num_workers=num_workers, iterations=iterations, seed=seed,
         network=network, device=device, bucket_bytes=bucket_bytes, overlap=overlap,
+        topology=topology, allreduce_algorithm=allreduce_algorithm,
+        allgather_algorithm=allgather_algorithm,
     )
     baseline_quality = _quality_from_evaluation(config, baseline.final_evaluation)
     baseline_rate = baseline_quality / max(baseline.metrics.total_time, 1e-12)
@@ -163,6 +217,8 @@ def compare_compressors(
             result = run_benchmark(
                 config, name, ratio, num_workers=num_workers, iterations=iterations, seed=seed,
                 network=network, device=device, bucket_bytes=bucket_bytes, overlap=overlap,
+                topology=topology, allreduce_algorithm=allreduce_algorithm,
+                allgather_algorithm=allgather_algorithm,
             )
             quality = _quality_from_evaluation(config, result.final_evaluation)
             rate = quality / max(result.metrics.total_time, 1e-12)
@@ -185,6 +241,10 @@ def compare_compressors(
                     overlap=result.config.overlap if result.config else "none",
                     serialized_time=overlap_stats["serialized_seconds"],
                     overlap_saving=overlap_stats["overlap_saving"],
+                    topology=_topology_label(result.config),
+                    allgather_algorithm=result.config.allgather_algorithm
+                    if result.config
+                    else "flat-allgather",
                 )
             )
             comparison.runs[(name, ratio)] = result

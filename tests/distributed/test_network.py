@@ -57,9 +57,26 @@ class TestPresets:
         assert get_network("10g") is CLUSTER_ETHERNET_10G
         assert get_network("infiniband-100g") is NODE_INFINIBAND_100G
 
+    @pytest.mark.parametrize("full_name", ["ethernet-10g", "ethernet-25g", "infiniband-100g"])
+    def test_every_preset_resolvable_by_full_name(self, full_name):
+        model = get_network(full_name)
+        assert model.name == full_name
+        assert model is get_network(full_name.upper())  # lookup is case-insensitive
+
     def test_unknown_rejected(self):
         with pytest.raises(ValueError):
             get_network("56g")
+
+    def test_unknown_error_lists_short_keys_and_full_names(self):
+        # Full names are accepted, so the error must advertise them alongside
+        # the short keys.
+        with pytest.raises(ValueError) as excinfo:
+            get_network("56g")
+        message = str(excinfo.value)
+        for key in ("10g", "25g", "100g"):
+            assert key in message
+        for full_name in ("ethernet-10g", "ethernet-25g", "infiniband-100g"):
+            assert full_name in message
 
     def test_infiniband_faster_than_ethernet(self):
         assert NODE_INFINIBAND_100G.allreduce_time(1e9, 8) < CLUSTER_ETHERNET_10G.allreduce_time(1e9, 8)

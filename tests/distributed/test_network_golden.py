@@ -1,0 +1,87 @@
+"""Golden regression pins for the flat network closed forms.
+
+The topology-aware collective layer refactored ``NetworkModel.allreduce_time``
+and ``allgather_time`` into the degenerate single-level case of
+:mod:`repro.distributed.topology`.  These tests pin the closed forms at
+hard-coded values (10g/25g/100g presets, several payload sizes and worker
+counts) *and* assert bit-exact equality with the collective layer's flat
+model, so the refactor provably reproduces the pre-topology behaviour.
+"""
+
+import pytest
+
+from repro.distributed import CollectiveModel, get_network
+
+#: (network, num_workers, num_bytes, allreduce_seconds, allgather_seconds)
+#: computed from the seed closed forms; any drift here is a behaviour change.
+GOLDEN_TIMES = [
+    ("10g", 2, 4096.0, 0.00010936228571428571, 5.936228571428572e-05),
+    ("10g", 2, 4000000.0, 0.009242857142857143, 0.009192857142857143),
+    ("10g", 2, 100000000.0, 0.22867142857142855, 0.22862142857142856),
+    ("10g", 4, 4096.0, 0.0003140434285714286, 0.00017808685714285717),
+    ("10g", 4, 4000000.0, 0.014014285714285715, 0.02757857142857143),
+    ("10g", 4, 100000000.0, 0.3431571428571428, 0.6858642857142857),
+    ("10g", 8, 4096.0, 0.000716384, 0.00041553600000000004),
+    ("10g", 8, 4000000.0, 0.0167, 0.06435),
+    ("10g", 8, 100000000.0, 0.4007, 1.60035),
+    ("10g", 16, 4096.0, 0.0015175542857142857, 0.0008904342857142857),
+    ("10g", 16, 4000000.0, 0.018642857142857145, 0.13789285714285715),
+    ("10g", 16, 100000000.0, 0.43007142857142855, 3.4293214285714284),
+    ("25g", 2, 4096.0, 6.374491428571428e-05, 3.3744914285714284e-05),
+    ("25g", 2, 4000000.0, 0.0037171428571428572, 0.003687142857142857),
+    ("25g", 2, 100000000.0, 0.09148857142857143, 0.09145857142857143),
+    ("25g", 4, 4096.0, 0.00018561737142857145, 0.00010123474285714285),
+    ("25g", 4, 4000000.0, 0.005665714285714285, 0.011061428571428571),
+    ("25g", 4, 100000000.0, 0.13732285714285714, 0.2743757142857143),
+    ("25g", 8, 4096.0, 0.00042655359999999997, 0.00023621439999999997),
+    ("25g", 8, 4000000.0, 0.0068200000000000005, 0.02581),
+    ("25g", 8, 100000000.0, 0.16042, 0.6402100000000001),
+    ("25g", 16, 4096.0, 0.0009070217142857143, 0.0005061737142857143),
+    ("25g", 16, 4000000.0, 0.007757142857142857, 0.05530714285714286),
+    ("25g", 16, 100000000.0, 0.17232857142857141, 1.3718785714285715),
+    ("100g", 2, 4096.0, 1.0546133333333334e-05, 5.5461333333333336e-06),
+    ("100g", 2, 4000000.0, 0.0005433333333333334, 0.0005383333333333334),
+    ("100g", 2, 100000000.0, 0.013343333333333334, 0.013338333333333334),
+    ("100g", 4, 4096.0, 3.0819200000000005e-05, 1.66384e-05),
+    ("100g", 4, 4000000.0, 0.0008300000000000001, 0.0016150000000000001),
+    ("100g", 4, 100000000.0, 0.02003, 0.040015),
+    ("100g", 8, 4096.0, 7.095573333333334e-05, 3.882293333333334e-05),
+    ("100g", 8, 4000000.0, 0.0010033333333333333, 0.0037683333333333336),
+    ("100g", 8, 100000000.0, 0.023403333333333335, 0.09336833333333333),
+    ("100g", 16, 4096.0, 0.000151024, 8.3192e-05),
+    ("100g", 16, 4000000.0, 0.00115, 0.008075),
+    ("100g", 16, 100000000.0, 0.025150000000000002, 0.200075),
+]
+
+
+@pytest.mark.parametrize(
+    "network,num_workers,num_bytes,allreduce_s,allgather_s",
+    GOLDEN_TIMES,
+    ids=[f"{n}-w{w}-{int(b)}B" for n, w, b, _, _ in GOLDEN_TIMES],
+)
+class TestGoldenClosedForms:
+    def test_allreduce_pinned(self, network, num_workers, num_bytes, allreduce_s, allgather_s):
+        assert get_network(network).allreduce_time(num_bytes, num_workers) == allreduce_s
+
+    def test_allgather_pinned(self, network, num_workers, num_bytes, allreduce_s, allgather_s):
+        assert get_network(network).allgather_time(num_bytes, num_workers) == allgather_s
+
+    def test_flat_collective_is_the_degenerate_case(
+        self, network, num_workers, num_bytes, allreduce_s, allgather_s
+    ):
+        # Bit-exact, not approx: the single-level collective model must be a
+        # drop-in replacement for the old closed forms.
+        model = CollectiveModel.flat(get_network(network), num_workers)
+        assert model.allreduce_time(num_bytes) == allreduce_s
+        assert model.allgather_time(num_bytes) == allgather_s
+
+
+@pytest.mark.parametrize("network", ["10g", "25g", "100g"])
+def test_single_worker_collectives_are_free(network):
+    net = get_network(network)
+    assert net.allreduce_time(1e9, 1) == 0.0
+    assert net.allgather_time(1e9, 1) == 0.0
+    model = CollectiveModel.flat(net, 1)
+    assert model.allreduce_time(1e9) == 0.0
+    assert model.allgather_time(1e9) == 0.0
+    assert model.allreduce_cost(1e9).phases == ()

@@ -7,6 +7,7 @@ from hypothesis import strategies as st
 from repro.distributed import (
     OVERLAP_POLICIES,
     BucketTask,
+    PhaseEvent,
     ready_times_from_fractions,
     simulate_iteration,
     validate_overlap,
@@ -101,6 +102,123 @@ class TestPolicies:
 
     def test_ready_times_from_fractions(self):
         assert ready_times_from_fractions([1.0, 0.5, 0.0], 2.0) == [2.0, 1.0, 0.0]
+
+
+class TestPhaseEvents:
+    """Per-phase collective events on the network lane (multi-phase collectives)."""
+
+    def _phased_task(self, index=0, ready=0.0, compress=0.1):
+        phases = (("intra-gather", 0.05), ("inter-allgather", 0.3), ("intra-broadcast", 0.1))
+        total = sum(s for _, s in phases)
+        return BucketTask(
+            index=index,
+            ready_seconds=ready,
+            compress_seconds=compress,
+            comm_seconds=total,
+            comm_phases=phases,
+        )
+
+    def test_phases_tile_the_comm_span(self):
+        task = self._phased_task()
+        schedule = simulate_iteration([task], compute_seconds=0.5, overlap="comm")
+        event = schedule.events[0]
+        assert [p.name for p in event.phases] == [
+            "intra-gather",
+            "inter-allgather",
+            "intra-broadcast",
+        ]
+        assert event.phases[0].start == event.comm_start
+        assert event.phases[-1].end == event.comm_end
+        for before, after in zip(event.phases, event.phases[1:]):
+            assert before.end == after.start  # serial, gap-free
+        for phase, (_, seconds) in zip(event.phases, task.comm_phases):
+            assert phase.end - phase.start == pytest.approx(seconds)
+
+    def test_phaseless_tasks_keep_empty_trace(self):
+        task = BucketTask(index=0, ready_seconds=0.0, compress_seconds=0.1, comm_seconds=0.2)
+        schedule = simulate_iteration([task], compute_seconds=0.5, overlap="comm")
+        assert schedule.events[0].phases == ()
+
+    @pytest.mark.parametrize("policy", OVERLAP_POLICIES)
+    def test_total_time_unchanged_by_phase_breakdown(self, policy):
+        # Splitting a bucket's collective into serial phases is bookkeeping:
+        # the critical path must match the single-span pricing exactly.
+        phased = [self._phased_task(index=i, ready=1.0 - 0.5 * i) for i in range(2)]
+        merged = [
+            BucketTask(
+                index=t.index,
+                ready_seconds=t.ready_seconds,
+                compress_seconds=t.compress_seconds,
+                comm_seconds=t.comm_seconds,
+            )
+            for t in phased
+        ]
+        with_phases = simulate_iteration(phased, compute_seconds=1.0, overlap=policy)
+        without = simulate_iteration(merged, compute_seconds=1.0, overlap=policy)
+        assert with_phases.iteration_seconds == without.iteration_seconds
+        assert with_phases.serialized_seconds == without.serialized_seconds
+
+    def test_phase_sum_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="comm_phases sum"):
+            BucketTask(
+                index=0,
+                ready_seconds=0.0,
+                compress_seconds=0.0,
+                comm_seconds=1.0,
+                comm_phases=(("only", 0.5),),
+            )
+
+    def test_negative_phase_duration_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            BucketTask(
+                index=0,
+                ready_seconds=0.0,
+                compress_seconds=0.0,
+                comm_seconds=0.0,
+                comm_phases=(("bad", -0.5), ("worse", 0.5)),
+            )
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        policy=st.sampled_from(OVERLAP_POLICIES),
+        compute=st.floats(min_value=0.0, max_value=2.0),
+        splits=st.lists(
+            st.lists(st.floats(min_value=0.0, max_value=0.5), min_size=1, max_size=4),
+            min_size=1,
+            max_size=5,
+        ),
+    )
+    def test_lane_consistency_with_random_phase_splits(self, policy, compute, splits):
+        tasks = []
+        for i, durations in enumerate(splits):
+            phases = tuple((f"phase-{j}", d) for j, d in enumerate(durations))
+            tasks.append(
+                BucketTask(
+                    index=i,
+                    ready_seconds=compute * (len(splits) - i) / len(splits),
+                    compress_seconds=0.05,
+                    comm_seconds=sum(durations),
+                    comm_phases=phases,
+                )
+            )
+        schedule = simulate_iteration(tasks, compute_seconds=compute, overlap=policy)
+        spans = []
+        for event in schedule.events:
+            assert len(event.phases) == len(splits[event.index])
+            assert event.phases[0].start == event.comm_start
+            assert event.phases[-1].end == event.comm_end
+            for phase in event.phases:
+                assert isinstance(phase, PhaseEvent)
+                assert phase.end >= phase.start - 1e-12
+            for before, after in zip(event.phases, event.phases[1:]):
+                assert before.end == after.start
+            spans.append((event.comm_start, event.comm_end))
+        # The network lane never runs two buckets' phases at once, and the
+        # critical path still ends at (or after) the last phase.
+        spans.sort()
+        assert all(a_end <= b_start + 1e-12 for (_, a_end), (b_start, _) in zip(spans, spans[1:]))
+        last_phase_end = max(e.phases[-1].end for e in schedule.events)
+        assert schedule.iteration_seconds >= last_phase_end - 1e-12
 
 
 @st.composite

@@ -6,7 +6,13 @@ import numpy as np
 import pytest
 
 from repro.compressors import create_compressor
-from repro.distributed import NetworkModel, TimelineModel, compute_time_for_overhead
+from repro.distributed import (
+    ClusterTopology,
+    CollectiveModel,
+    NetworkModel,
+    TimelineModel,
+    compute_time_for_overhead,
+)
 from repro.gradients import realistic_gradient
 from repro.perfmodel import GPU_V100
 
@@ -279,6 +285,34 @@ class TestOverlapPolicies:
                 model_dimension=10, overlap="everything",
             )
 
+    def test_flat_topology_reproduces_default_totals_exactly(self):
+        # Acceptance pin: an overlap-enabled timeline with an *explicit*
+        # single-level topology and flat-allgather must reproduce the
+        # pre-topology IterationTiming.total bit-for-bit under every policy.
+        network = NetworkModel(bandwidth_gbps=10.0, latency_s=1e-5, efficiency=1.0)
+        base = dict(
+            network=network,
+            device=GPU_V100,
+            compute_seconds=0.02,
+            num_workers=2,
+            model_dimension=20_000,
+        )
+        results = self._bucketed_results()
+        explicit = CollectiveModel(
+            topology=ClusterTopology.flat(network, 2), allgather_algorithm="flat-allgather"
+        )
+        for policy in ("none", "comm", "comm+compress"):
+            default = TimelineModel(**base).compressed_iteration(results, overlap=policy)
+            topo = TimelineModel(**base, collective=explicit).compressed_iteration(
+                results, overlap=policy
+            )
+            assert topo.total == default.total
+            assert topo.serialized == default.serialized
+            assert topo.communication == default.communication
+        baseline_default = TimelineModel(**base).baseline_iteration()
+        baseline_topo = TimelineModel(**base, collective=explicit).baseline_iteration()
+        assert baseline_topo.total == baseline_default.total
+
     def test_layer_aware_ready_fractions_feed_schedule(self):
         # Layer-aware pipelines record per-bucket ready fractions; the
         # comm+compress schedule must start early buckets before backprop ends.
@@ -296,3 +330,91 @@ class TestOverlapPolicies:
         timing = timeline.compressed_iteration(results, overlap="comm+compress")
         last_bucket = timing.schedule.events[-1]
         assert last_bucket.compress_start < timeline.compute_seconds
+
+
+class TestTopologyAwareTimeline:
+    """TimelineModel priced over an explicit CollectiveModel."""
+
+    INTER = NetworkModel(bandwidth_gbps=10.0, latency_s=5e-5, name="inter", efficiency=0.35)
+    INTRA = NetworkModel(bandwidth_gbps=100.0, latency_s=5e-6, name="intra", efficiency=0.6)
+
+    def _two_level(self, allgather="hierarchical"):
+        topology = ClusterTopology(
+            num_nodes=4, devices_per_node=2, inter_node=self.INTER, intra_node=self.INTRA
+        )
+        return CollectiveModel(topology, allgather_algorithm=allgather)
+
+    def _timeline(self, collective):
+        return TimelineModel(
+            network=self.INTER,
+            device=GPU_V100,
+            compute_seconds=0.02,
+            num_workers=collective.num_workers,
+            model_dimension=20_000,
+            collective=collective,
+        )
+
+    def _bucketed_results(self, num_workers=2):
+        from repro.pipeline import CompressionPipeline
+
+        gradient = realistic_gradient(20_000, seed=13)
+        pipeline = CompressionPipeline(create_compressor("topk"), bucket_bytes=16_000)
+        return [pipeline.compress(gradient, 0.05) for _ in range(num_workers)]
+
+    def test_worker_count_mismatch_rejected(self):
+        collective = self._two_level()  # 8 workers
+        with pytest.raises(ValueError, match="workers"):
+            TimelineModel(
+                network=self.INTER,
+                device=GPU_V100,
+                compute_seconds=0.0,
+                num_workers=4,
+                model_dimension=10,
+                collective=collective,
+            )
+
+    def test_default_collective_is_flat_over_network(self):
+        timeline = _timeline(workers=8)
+        assert timeline.collective.topology.is_single_level
+        assert timeline.collective.topology.num_workers == 8
+        assert timeline.collective.allgather_algorithm == "flat-allgather"
+
+    def test_hierarchical_allgather_prices_cheaper_than_flat(self):
+        results = self._bucketed_results()
+        flat = self._timeline(self._two_level(allgather="flat-allgather"))
+        hier = self._timeline(self._two_level(allgather="hierarchical"))
+        flat_timing = flat.compressed_iteration(results)
+        hier_timing = hier.compressed_iteration(results)
+        assert hier_timing.communication < flat_timing.communication
+        assert hier_timing.compression == pytest.approx(flat_timing.compression)
+
+    def test_schedule_events_carry_collective_phases(self):
+        results = self._bucketed_results()
+        timeline = self._timeline(self._two_level(allgather="hierarchical"))
+        timing = timeline.compressed_iteration(results, overlap="comm")
+        assert timing.schedule is not None
+        for event in timing.schedule.events:
+            assert [p.name for p in event.phases] == [
+                "intra-gather",
+                "inter-allgather",
+                "intra-broadcast",
+            ]
+            assert event.phases[0].start == event.comm_start
+            assert event.phases[-1].end == event.comm_end
+
+    def test_flat_allgather_single_phase_span(self):
+        results = self._bucketed_results()
+        timeline = self._timeline(self._two_level(allgather="flat-allgather"))
+        timing = timeline.compressed_iteration(results, overlap="comm")
+        for event in timing.schedule.events:
+            assert [p.name for p in event.phases] == ["ring-allgather"]
+
+    def test_baseline_allreduce_uses_collective_topology(self):
+        flat = self._timeline(self._two_level(allgather="flat-allgather"))
+        # Hierarchical dense all-reduce on a fast intra fabric beats the flat
+        # ring gated by the inter-node link.
+        hier_collective = CollectiveModel(
+            self._two_level().topology, allreduce_algorithm="hierarchical"
+        )
+        hier = self._timeline(hier_collective)
+        assert hier.baseline_iteration().communication < flat.baseline_iteration().communication

@@ -1,0 +1,257 @@
+"""Tests for the cluster topology and collective-algorithm layer."""
+
+import math
+
+import pytest
+
+from repro.distributed import (
+    COLLECTIVE_ALGORITHMS,
+    TOPOLOGIES,
+    ClusterTopology,
+    CollectiveModel,
+    NetworkModel,
+    get_collective_algorithm,
+    get_network,
+    get_topology,
+    hierarchical_crossover_factor,
+)
+from repro.distributed.network import CLUSTER_ETHERNET_10G, NODE_INFINIBAND_100G
+
+ETH = NetworkModel(bandwidth_gbps=10.0, latency_s=50e-6, name="eth", efficiency=1.0)
+FAST = NetworkModel(bandwidth_gbps=400.0, latency_s=2e-6, name="fast", efficiency=1.0)
+
+
+def two_level(num_nodes=4, devices_per_node=8):
+    return ClusterTopology(
+        num_nodes=num_nodes,
+        devices_per_node=devices_per_node,
+        inter_node=ETH,
+        intra_node=FAST,
+        name="test-2level",
+    )
+
+
+class TestClusterTopology:
+    def test_worker_count_and_levels(self):
+        topo = two_level(4, 8)
+        assert topo.num_workers == 32
+        assert not topo.is_single_level
+        assert topo.bottleneck_link is ETH
+
+    def test_single_node_bottleneck_is_intra(self):
+        topo = ClusterTopology(num_nodes=1, devices_per_node=8, inter_node=ETH, intra_node=FAST)
+        assert topo.is_single_level
+        assert topo.bottleneck_link is FAST
+
+    def test_flat_constructor(self):
+        topo = ClusterTopology.flat(ETH, 8)
+        assert topo.num_workers == 8
+        assert topo.devices_per_node == 1
+        assert topo.is_single_level
+        assert topo.bottleneck_link is ETH
+        assert "eth" in topo.name
+
+    @pytest.mark.parametrize("kwargs", [{"num_nodes": 0}, {"devices_per_node": 0}])
+    def test_invalid_shape_rejected(self, kwargs):
+        base = dict(num_nodes=2, devices_per_node=2, inter_node=ETH, intra_node=FAST)
+        with pytest.raises(ValueError):
+            ClusterTopology(**{**base, **kwargs})
+
+    def test_flat_rejects_bad_worker_count(self):
+        with pytest.raises(ValueError):
+            ClusterTopology.flat(ETH, 0)
+
+
+class TestAlgorithmRegistry:
+    def test_known_algorithms(self):
+        assert set(COLLECTIVE_ALGORITHMS) == {
+            "ring-allreduce",
+            "recursive-doubling",
+            "flat-allgather",
+            "hierarchical",
+        }
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ValueError, match="unknown collective algorithm"):
+            get_collective_algorithm("tree-allreduce")
+
+    def test_unsupported_op_rejected(self):
+        with pytest.raises(ValueError, match="does not model"):
+            get_collective_algorithm("flat-allgather", op="allreduce")
+        with pytest.raises(ValueError, match="does not model"):
+            get_collective_algorithm("ring-allreduce", op="allgather")
+
+    def test_cost_rejects_unknown_op_and_negative_bytes(self):
+        algo = get_collective_algorithm("ring-allreduce")
+        with pytest.raises(ValueError, match="unknown collective op"):
+            algo.cost(ClusterTopology.flat(ETH, 4), "broadcast", 1.0)
+        with pytest.raises(ValueError, match="non-negative"):
+            algo.cost(ClusterTopology.flat(ETH, 4), "allreduce", -1.0)
+
+
+class TestRingAllreduce:
+    def test_two_phases_sum_to_closed_form(self):
+        topo = ClusterTopology.flat(ETH, 8)
+        cost = get_collective_algorithm("ring-allreduce").cost(topo, "allreduce", 4e6)
+        assert [p.name for p in cost.phases] == ["reduce-scatter", "ring-allgather"]
+        assert cost.phases[0].seconds == cost.phases[1].seconds
+        assert cost.total == ETH.allreduce_time(4e6, 8)
+
+    def test_volume_matches_ring(self):
+        topo = ClusterTopology.flat(ETH, 8)
+        cost = get_collective_algorithm("ring-allreduce").cost(topo, "allreduce", 8e6)
+        # 2(N-1)/N of the buffer crosses each link.
+        assert cost.volume_bytes == pytest.approx(2 * 7 / 8 * 8e6)
+
+
+class TestFlatAllgather:
+    def test_single_phase_matches_closed_form(self):
+        topo = ClusterTopology.flat(ETH, 8)
+        cost = get_collective_algorithm("flat-allgather").cost(topo, "allgather", 1e5)
+        assert [p.name for p in cost.phases] == ["ring-allgather"]
+        assert cost.total == ETH.allgather_time(1e5, 8)
+        assert cost.volume_bytes == pytest.approx(7e5)
+
+    def test_multi_node_gated_by_inter_link(self):
+        topo = two_level(4, 8)
+        cost = get_collective_algorithm("flat-allgather").cost(topo, "allgather", 1e5)
+        assert cost.phases[0].link == "eth"
+        assert cost.total == ETH.allgather_time(1e5, 32)
+
+
+class TestRecursiveDoubling:
+    def test_allreduce_round_count_and_latency_bound_win(self):
+        topo = ClusterTopology.flat(ETH, 8)
+        algo = get_collective_algorithm("recursive-doubling")
+        cost = algo.cost(topo, "allreduce", 1e3)
+        assert len(cost.phases) == 3  # log2(8)
+        # Tiny payloads are latency-bound: 3 latencies beat the ring's 14.
+        assert cost.total < ETH.allreduce_time(1e3, 8)
+        # Large payloads are bandwidth-bound: shipping the full buffer each
+        # round loses to the ring's 1/N chunks.
+        assert algo.cost(topo, "allreduce", 1e8).total > ETH.allreduce_time(1e8, 8)
+
+    def test_allgather_volume_matches_ring_for_power_of_two(self):
+        topo = ClusterTopology.flat(ETH, 8)
+        cost = get_collective_algorithm("recursive-doubling").cost(topo, "allgather", 1e4)
+        assert cost.volume_bytes == pytest.approx(7e4)  # (N-1) payloads total
+        assert cost.total < ETH.allgather_time(1e4, 8)  # 3 latencies vs 7
+
+    def test_non_power_of_two_rounds(self):
+        topo = ClusterTopology.flat(ETH, 5)
+        cost = get_collective_algorithm("recursive-doubling").cost(topo, "allgather", 1e4)
+        assert len(cost.phases) == 3  # ceil(log2(5))
+        # The capped final round keeps the total volume at (N-1) payloads.
+        assert cost.volume_bytes == pytest.approx(4e4)
+
+
+class TestHierarchical:
+    def test_allgather_phase_structure(self):
+        topo = two_level(4, 8)
+        cost = get_collective_algorithm("hierarchical").cost(topo, "allgather", 1e5)
+        assert [p.name for p in cost.phases] == [
+            "intra-gather",
+            "inter-allgather",
+            "intra-broadcast",
+        ]
+        assert [p.link for p in cost.phases] == ["fast", "eth", "fast"]
+        # Inter-node ring carries one node-aggregate per node: (M-1) * D * p.
+        assert cost.phases[1].volume_bytes == pytest.approx(3 * 8 * 1e5)
+
+    def test_single_device_per_node_collapses_to_flat(self):
+        topo = ClusterTopology(num_nodes=8, devices_per_node=1, inter_node=ETH, intra_node=FAST)
+        hier = get_collective_algorithm("hierarchical").cost(topo, "allgather", 1e5)
+        flat = get_collective_algorithm("flat-allgather").cost(topo, "allgather", 1e5)
+        assert hier.total == flat.total
+        assert [p.name for p in hier.phases] == ["inter-allgather"]
+
+    def test_single_node_uses_only_intra_phases(self):
+        topo = ClusterTopology(num_nodes=1, devices_per_node=8, inter_node=ETH, intra_node=FAST)
+        cost = get_collective_algorithm("hierarchical").cost(topo, "allgather", 1e5)
+        assert {p.link for p in cost.phases} == {"fast"}
+
+    def test_single_worker_is_free(self):
+        topo = ClusterTopology(num_nodes=1, devices_per_node=1, inter_node=ETH, intra_node=FAST)
+        for op in ("allreduce", "allgather"):
+            cost = get_collective_algorithm("hierarchical").cost(topo, op, 1e6)
+            assert cost.phases == ()
+            assert cost.total == 0.0
+
+    def test_allreduce_collapses_to_ring_when_single_device(self):
+        topo = ClusterTopology(num_nodes=8, devices_per_node=1, inter_node=ETH, intra_node=FAST)
+        hier = get_collective_algorithm("hierarchical").cost(topo, "allreduce", 4e6)
+        assert hier.total == ETH.allreduce_time(4e6, 8)
+
+    def test_beats_flat_on_fast_intra_fabric(self):
+        topo = two_level(4, 8)
+        assert FAST.bytes_per_second / ETH.bytes_per_second > hierarchical_crossover_factor(topo)
+        hier = get_collective_algorithm("hierarchical").cost(topo, "allgather", 4e6)
+        flat = get_collective_algorithm("flat-allgather").cost(topo, "allgather", 4e6)
+        assert hier.total < flat.total
+
+    def test_crossover_factor(self):
+        assert hierarchical_crossover_factor(two_level(4, 8)) == pytest.approx(38 / 7)
+        assert hierarchical_crossover_factor(ClusterTopology.flat(ETH, 8)) == math.inf
+
+
+class TestCollectiveModel:
+    def test_validates_algorithm_choices(self):
+        topo = ClusterTopology.flat(ETH, 4)
+        with pytest.raises(ValueError):
+            CollectiveModel(topo, allreduce_algorithm="flat-allgather")
+        with pytest.raises(ValueError):
+            CollectiveModel(topo, allgather_algorithm="ring-allreduce")
+        with pytest.raises(ValueError):
+            CollectiveModel(topo, allgather_algorithm="nccl")
+
+    def test_recursive_doubling_serves_both_ops(self):
+        model = CollectiveModel(
+            ClusterTopology.flat(ETH, 8),
+            allreduce_algorithm="recursive-doubling",
+            allgather_algorithm="recursive-doubling",
+        )
+        assert model.allreduce_time(1e6) > 0.0
+        assert model.allgather_time(1e6) > 0.0
+
+    def test_num_workers_comes_from_topology(self):
+        assert CollectiveModel(two_level(2, 3)).num_workers == 6
+
+
+class TestTopologyPresets:
+    def test_registry_contents(self):
+        assert set(TOPOLOGIES) == {"cluster1", "cluster1-25g", "cluster2", "ethernet-4x8"}
+
+    def test_cluster1_mirrors_appendix_d(self):
+        topo = get_topology("cluster1")
+        assert (topo.num_nodes, topo.devices_per_node) == (8, 1)
+        assert topo.inter_node is CLUSTER_ETHERNET_10G
+        assert get_topology("cluster1-25g").inter_node.name == "ethernet-25g"
+
+    def test_cluster2_mirrors_appendix_d(self):
+        topo = get_topology("cluster2")
+        assert (topo.num_nodes, topo.devices_per_node) == (1, 8)
+        assert topo.bottleneck_link is NODE_INFINIBAND_100G
+
+    def test_lookup_by_full_name(self):
+        assert get_topology("cluster1-ethernet-10g") is get_topology("cluster1")
+        assert get_topology("ETHERNET-4X8") is TOPOLOGIES["ethernet-4x8"]
+
+    def test_unknown_lists_keys_and_full_names(self):
+        with pytest.raises(ValueError) as excinfo:
+            get_topology("cluster3")
+        message = str(excinfo.value)
+        assert "cluster1" in message
+        assert "cluster2-infiniband-100g" in message
+
+    def test_ethernet_4x8_clears_the_crossover(self):
+        topo = get_topology("ethernet-4x8")
+        ratio = topo.intra_node.bytes_per_second / topo.inter_node.bytes_per_second
+        assert ratio > hierarchical_crossover_factor(topo)
+
+    def test_presets_price_flat_like_their_network(self):
+        # Cluster 1 is single-level, so every algorithm reduces to the 10g
+        # Ethernet closed forms.
+        topo = get_topology("cluster1")
+        model = CollectiveModel(topo)
+        assert model.allreduce_time(4e6) == get_network("10g").allreduce_time(4e6, 8)
+        assert model.allgather_time(1e5) == get_network("10g").allgather_time(1e5, 8)

@@ -1,0 +1,177 @@
+"""Hypothesis property suite for the collective-algorithm layer.
+
+Invariants pinned here:
+
+* every algorithm's per-phase costs sum to its total (phases are serial),
+* totals are monotone in the payload size and in the participant count
+  (adding a node or a device never makes a collective cheaper),
+* a single worker collapses every collective to zero cost,
+* the degenerate single-level model equals the ``NetworkModel`` closed forms
+  bit-for-bit for random links, worker counts and payloads,
+* hierarchical all-gather beats flat all-gather whenever the intra-node link
+  clears the derived crossover factor.  Note the honest precondition: merely
+  matching the inter-node bandwidth is *not* sufficient, because the
+  hierarchical schedule must move the full gathered aggregate over the
+  intra-node link as well (see :func:`hierarchical_crossover_factor`).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributed import (
+    COLLECTIVE_ALGORITHMS,
+    ClusterTopology,
+    CollectiveModel,
+    NetworkModel,
+    hierarchical_crossover_factor,
+)
+
+ALGORITHM_OPS = [
+    (name, op)
+    for name, algo in sorted(COLLECTIVE_ALGORITHMS.items())
+    for op in algo.supported_ops
+]
+
+
+@st.composite
+def networks(draw, *, name: str = "link"):
+    return NetworkModel(
+        bandwidth_gbps=draw(st.floats(min_value=0.1, max_value=400.0)),
+        latency_s=draw(st.floats(min_value=0.0, max_value=1e-3)),
+        efficiency=draw(st.floats(min_value=0.05, max_value=1.0)),
+        name=name,
+    )
+
+
+@st.composite
+def topologies(draw, *, min_nodes: int = 1, min_devices: int = 1):
+    return ClusterTopology(
+        num_nodes=draw(st.integers(min_value=min_nodes, max_value=6)),
+        devices_per_node=draw(st.integers(min_value=min_devices, max_value=6)),
+        inter_node=draw(networks(name="inter")),
+        intra_node=draw(networks(name="intra")),
+    )
+
+
+payloads = st.floats(min_value=0.0, max_value=1e9)
+
+
+class TestAlgorithmInvariants:
+    @settings(max_examples=150, deadline=None)
+    @given(topology=topologies(), num_bytes=payloads, algorithm_op=st.sampled_from(ALGORITHM_OPS))
+    def test_phase_costs_sum_to_total(self, topology, num_bytes, algorithm_op):
+        name, op = algorithm_op
+        cost = COLLECTIVE_ALGORITHMS[name].cost(topology, op, num_bytes)
+        assert cost.total == pytest.approx(sum(p.seconds for p in cost.phases), abs=1e-15)
+        assert all(p.seconds >= 0.0 for p in cost.phases)
+        assert all(p.volume_bytes >= 0.0 for p in cost.phases)
+
+    @settings(max_examples=150, deadline=None)
+    @given(
+        topology=topologies(),
+        num_bytes=payloads,
+        scale=st.floats(min_value=1.0, max_value=100.0),
+        algorithm_op=st.sampled_from(ALGORITHM_OPS),
+    )
+    def test_monotone_in_payload_bytes(self, topology, num_bytes, scale, algorithm_op):
+        name, op = algorithm_op
+        algo = COLLECTIVE_ALGORITHMS[name]
+        smaller = algo.cost(topology, op, num_bytes).total
+        larger = algo.cost(topology, op, num_bytes * scale).total
+        assert larger >= smaller - 1e-12
+
+    @settings(max_examples=150, deadline=None)
+    @given(
+        grown=st.booleans().flatmap(
+            lambda grow_nodes: st.tuples(
+                st.just(grow_nodes),
+                # Growing 1 -> 2 nodes switches the flat collectives' bottleneck
+                # from the intra- to the inter-node link, which may be faster —
+                # monotonicity only holds within one link regime, so node
+                # growth starts from multi-node topologies.
+                topologies(min_nodes=2 if grow_nodes else 1),
+            )
+        ),
+        num_bytes=payloads,
+        algorithm_op=st.sampled_from(ALGORITHM_OPS),
+    )
+    def test_monotone_in_worker_count(self, grown, num_bytes, algorithm_op):
+        grow_nodes, topology = grown
+        name, op = algorithm_op
+        algo = COLLECTIVE_ALGORITHMS[name]
+        bigger = ClusterTopology(
+            num_nodes=topology.num_nodes + (1 if grow_nodes else 0),
+            devices_per_node=topology.devices_per_node + (0 if grow_nodes else 1),
+            inter_node=topology.inter_node,
+            intra_node=topology.intra_node,
+        )
+        before = algo.cost(topology, op, num_bytes).total
+        after = algo.cost(bigger, op, num_bytes).total
+        assert after >= before - 1e-12
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        inter=networks(), intra=networks(), num_bytes=payloads,
+        algorithm_op=st.sampled_from(ALGORITHM_OPS),
+    )
+    def test_single_worker_is_free(self, inter, intra, num_bytes, algorithm_op):
+        name, op = algorithm_op
+        topology = ClusterTopology(1, 1, inter_node=inter, intra_node=intra)
+        cost = COLLECTIVE_ALGORITHMS[name].cost(topology, op, num_bytes)
+        assert cost.total == 0.0
+        assert cost.phases == ()
+
+
+class TestDegenerateFlatModel:
+    @settings(max_examples=150, deadline=None)
+    @given(
+        network=networks(),
+        num_workers=st.integers(min_value=1, max_value=64),
+        num_bytes=payloads,
+    )
+    def test_reproduces_network_closed_forms_exactly(self, network, num_workers, num_bytes):
+        model = CollectiveModel.flat(network, num_workers)
+        assert model.allreduce_time(num_bytes) == network.allreduce_time(num_bytes, num_workers)
+        assert model.allgather_time(num_bytes) == network.allgather_time(num_bytes, num_workers)
+
+
+@st.composite
+def crossover_cleared_topologies(draw):
+    """Two-level topologies whose intra link clears the hierarchical crossover.
+
+    The sufficient condition derived in :func:`hierarchical_crossover_factor`:
+    intra latency no higher than inter latency and intra *effective* bandwidth
+    at least ``(N+D-2)/(D-1)`` times the inter effective bandwidth.
+    """
+    num_nodes = draw(st.integers(min_value=2, max_value=6))
+    devices = draw(st.integers(min_value=2, max_value=8))
+    inter = draw(networks(name="inter"))
+    factor = (num_nodes * devices + devices - 2) / (devices - 1)
+    margin = draw(st.floats(min_value=1.0, max_value=8.0))
+    intra = NetworkModel(
+        bandwidth_gbps=inter.bandwidth_gbps * inter.efficiency * factor * margin,
+        latency_s=inter.latency_s * draw(st.floats(min_value=0.0, max_value=1.0)),
+        efficiency=1.0,
+        name="intra",
+    )
+    return ClusterTopology(num_nodes, devices, inter_node=inter, intra_node=intra)
+
+
+class TestHierarchicalVsFlat:
+    @settings(max_examples=200, deadline=None)
+    @given(topology=crossover_cleared_topologies(), num_bytes=payloads)
+    def test_hierarchical_never_slower_above_crossover(self, topology, num_bytes):
+        hier = COLLECTIVE_ALGORITHMS["hierarchical"].cost(topology, "allgather", num_bytes)
+        flat = COLLECTIVE_ALGORITHMS["flat-allgather"].cost(topology, "allgather", num_bytes)
+        assert hier.total <= flat.total * (1.0 + 1e-12) + 1e-15
+
+    @settings(max_examples=100, deadline=None)
+    @given(topology=topologies(min_nodes=2, min_devices=2), num_bytes=payloads)
+    def test_hierarchical_saves_inter_node_volume(self, topology, num_bytes):
+        # Whatever the link speeds, the hierarchical all-gather always moves
+        # less (or equal) volume over the inter-node fabric than the flat ring.
+        hier = COLLECTIVE_ALGORITHMS["hierarchical"].cost(topology, "allgather", num_bytes)
+        flat = COLLECTIVE_ALGORITHMS["flat-allgather"].cost(topology, "allgather", num_bytes)
+        hier_inter = sum(p.volume_bytes for p in hier.phases if p.link == "inter")
+        assert hier_inter <= sum(p.volume_bytes for p in flat.phases) + 1e-9

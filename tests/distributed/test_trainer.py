@@ -212,3 +212,78 @@ class TestOverlapPolicy:
         ).run()
         assert overlapped.metrics.total_time == pytest.approx(serial.metrics.total_time)
         assert overlapped.metrics.overlap_summary()["overlap_saving"] == pytest.approx(0.0)
+
+
+class TestTopologyThreading:
+    """Cluster topology + collective-algorithm choices threaded end to end."""
+
+    def _two_level(self):
+        from repro.distributed import ClusterTopology
+        from repro.distributed.network import CLUSTER_ETHERNET_10G, NODE_INFINIBAND_100G
+
+        return ClusterTopology(
+            num_nodes=2,
+            devices_per_node=2,
+            inter_node=CLUSTER_ETHERNET_10G,
+            intra_node=NODE_INFINIBAND_100G,
+            name="test-2x2",
+        )
+
+    def test_invalid_algorithm_rejected_at_config_time(self):
+        with pytest.raises(ValueError):
+            TrainerConfig(allgather_algorithm="ring-allreduce")
+        with pytest.raises(ValueError):
+            TrainerConfig(allreduce_algorithm="nccl")
+
+    def test_topology_worker_mismatch_rejected_at_config_time(self):
+        with pytest.raises(ValueError, match="workers"):
+            _config(num_workers=8, topology=self._two_level())  # 4 workers
+
+    def test_unknown_preset_rejected_at_config_time(self):
+        with pytest.raises(ValueError, match="unknown topology"):
+            _config(num_workers=8, topology="cluster99")
+
+    def test_preset_resolved_by_name(self):
+        from repro.distributed import get_topology
+        from repro.distributed.network import CLUSTER_ETHERNET_10G
+
+        config = _config(num_workers=8, topology="cluster1")
+        assert config.resolve_topology(CLUSTER_ETHERNET_10G) is get_topology("cluster1")
+
+    def test_default_topology_is_flat_over_network(self):
+        from repro.distributed.network import CLUSTER_ETHERNET_10G
+
+        topo = _config(num_workers=4).resolve_topology(CLUSTER_ETHERNET_10G)
+        assert topo.is_single_level
+        assert topo.num_workers == 4
+        assert topo.bottleneck_link is CLUSTER_ETHERNET_10G
+
+    def test_trainer_wires_collective_into_timeline(self):
+        config = _config(topology=self._two_level(), allgather_algorithm="hierarchical")
+        trainer = DistributedTrainer(_model(), _dataset(), "topk", config)
+        assert trainer.collective.topology.name == "test-2x2"
+        assert trainer.timeline.collective is trainer.collective
+
+    def test_hierarchical_topology_run_prices_cheaper_iterations(self):
+        flat = DistributedTrainer(
+            _model(seed=7), _dataset(5), "topk",
+            _config(seed=5, topology=self._two_level(), allgather_algorithm="flat-allgather"),
+        ).run()
+        hier = DistributedTrainer(
+            _model(seed=7), _dataset(5), "topk",
+            _config(seed=5, topology=self._two_level(), allgather_algorithm="hierarchical"),
+        ).run()
+        # Identical training math; only the communication pricing changes.
+        np.testing.assert_allclose(hier.metrics.losses, flat.metrics.losses)
+        assert hier.metrics.total_time < flat.metrics.total_time
+
+    def test_flat_topology_run_matches_default_exactly(self):
+        from repro.distributed import ClusterTopology
+        from repro.distributed.network import CLUSTER_ETHERNET_10G
+
+        default = DistributedTrainer(_model(), _dataset(), "topk", _config(seed=6)).run()
+        flat = DistributedTrainer(
+            _model(), _dataset(), "topk",
+            _config(seed=6, topology=ClusterTopology.flat(CLUSTER_ETHERNET_10G, 4)),
+        ).run()
+        assert flat.metrics.total_time == default.metrics.total_time

@@ -81,3 +81,26 @@ class TestSpeedupSummary:
         text = format_speedup_summary(rows)
         assert "ratio=0.01" in text
         assert "sidco-e" in text
+
+
+class TestPhaseBreakdown:
+    def test_renders_collective_phases(self):
+        from repro.distributed import CollectiveModel, get_topology
+        from repro.harness import format_phase_breakdown
+
+        cost = CollectiveModel(
+            get_topology("ethernet-4x8"), allgather_algorithm="hierarchical"
+        ).allgather_cost(1e5)
+        text = format_phase_breakdown(cost)
+        assert "allgather via hierarchical over 32 workers" in text
+        for phase in ("intra-gather", "inter-allgather", "intra-broadcast"):
+            assert phase in text
+        assert "ethernet-10g" in text and "infiniband-100g" in text
+        assert "total" in text
+
+    def test_single_participant_renders_free(self):
+        from repro.distributed import CollectiveModel, NetworkModel
+        from repro.harness import format_phase_breakdown
+
+        cost = CollectiveModel.flat(NetworkModel(), 1).allgather_cost(1e5)
+        assert "free" in format_phase_breakdown(cost)

@@ -72,3 +72,58 @@ class TestOverlapThreading:
         assert row.overlap == "comm"
         assert row.serialized_time >= row.total_time
         assert 0.0 <= row.overlap_saving < 1.0
+
+
+class TestTopologyThreading:
+    def _two_level(self):
+        from repro.distributed import ClusterTopology
+        from repro.distributed.network import CLUSTER_ETHERNET_10G, NODE_INFINIBAND_100G
+
+        return ClusterTopology(
+            num_nodes=2,
+            devices_per_node=2,
+            inter_node=CLUSTER_ETHERNET_10G,
+            intra_node=NODE_INFINIBAND_100G,
+            name="harness-2x2",
+        )
+
+    def test_topology_fixes_worker_count(self):
+        result = run_benchmark(
+            "resnet20-cifar10", "topk", 0.01, num_workers=8, iterations=4, seed=0,
+            topology=self._two_level(),
+        )
+        assert result.config.num_workers == 4
+        assert result.config.topology.name == "harness-2x2"
+
+    def test_preset_topology_by_name(self):
+        result = run_benchmark(
+            "resnet20-cifar10", "topk", 0.01, iterations=4, seed=0, topology="cluster2",
+        )
+        assert result.config.num_workers == 8
+        assert result.config.topology.name == "cluster2-infiniband-100g"
+
+    def test_hierarchical_allgather_speeds_up_two_level_run(self):
+        kwargs = dict(iterations=6, seed=0, topology=self._two_level())
+        flat = run_benchmark(
+            "vgg16-cifar10", "topk", 0.01, allgather_algorithm="flat-allgather", **kwargs
+        )
+        hier = run_benchmark(
+            "vgg16-cifar10", "topk", 0.01, allgather_algorithm="hierarchical", **kwargs
+        )
+        assert hier.metrics.total_time < flat.metrics.total_time
+
+    def test_compare_compressors_reports_topology_columns(self):
+        comparison = compare_compressors(
+            "resnet20-cifar10", ("topk",), (0.01,), iterations=4, seed=0,
+            topology=self._two_level(), allgather_algorithm="hierarchical",
+        )
+        row = comparison.rows[0]
+        assert row.topology == "harness-2x2"
+        assert row.allgather_algorithm == "hierarchical"
+
+    def test_flat_rows_labelled_flat(self):
+        comparison = compare_compressors(
+            "resnet20-cifar10", ("topk",), (0.01,), num_workers=2, iterations=4, seed=0,
+        )
+        assert comparison.rows[0].topology == "flat"
+        assert comparison.rows[0].allgather_algorithm == "flat-allgather"

@@ -24,14 +24,17 @@ from .timeline import IterationTiming, TimelineModel, compute_time_for_overhead
 from .topology import (
     COLLECTIVE_ALGORITHMS,
     COLLECTIVE_OPS,
+    DEDUP_ASSUMPTIONS,
     TOPOLOGIES,
     ClusterTopology,
     CollectiveCost,
     CollectiveModel,
     CollectivePhase,
+    SparseAggregateModel,
     get_collective_algorithm,
     get_topology,
     hierarchical_crossover_factor,
+    validate_pipeline_chunks,
 )
 from .trainer import (
     DistributedTrainer,
@@ -46,6 +49,7 @@ __all__ = [
     "CLUSTER_ETHERNET_25G",
     "COLLECTIVE_ALGORITHMS",
     "COLLECTIVE_OPS",
+    "DEDUP_ASSUMPTIONS",
     "NETWORKS",
     "NODE_INFINIBAND_100G",
     "OVERLAP_POLICIES",
@@ -63,6 +67,7 @@ __all__ = [
     "IterationTiming",
     "NetworkModel",
     "PhaseEvent",
+    "SparseAggregateModel",
     "TimelineModel",
     "TrainerConfig",
     "TrainingMetrics",
@@ -80,4 +85,5 @@ __all__ = [
     "simulate_iteration",
     "train_baseline_and_compressed",
     "validate_overlap",
+    "validate_pipeline_chunks",
 ]

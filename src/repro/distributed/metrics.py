@@ -35,6 +35,10 @@ class IterationRecord:
     #: same iteration; equals ``iteration_time`` when the overlap policy is
     #: ``"none"``, and upper-bounds it otherwise.
     serialized_time: float = 0.0
+    #: Achieved sparse-dedup ratio of the iteration's collectives
+    #: (concatenated / deduplicated node-aggregate size; 1.0 when dedup is
+    #: off or the iteration all-reduced dense gradients).
+    dedup_ratio: float = 1.0
 
 
 @dataclass
@@ -148,6 +152,19 @@ class TrainingMetrics:
     def serialized_total_time(self) -> float:
         """Total time the run would have taken with ``overlap="none"``."""
         return float(sum(r.serialized_time or r.iteration_time for r in self.records))
+
+    def mean_dedup_ratio(self) -> float:
+        """Average achieved sparse-dedup ratio over the compressed iterations.
+
+        Iterations that shipped dense gradients (baseline, warm-up) carry a
+        structural ratio of 1.0 and are excluded so the scalar reflects what
+        the dedup model actually achieved on sparse traffic; a run with no
+        compressed iterations reports 1.0.
+        """
+        ratios = [r.dedup_ratio for r in self.records if r.target_ratio < 1.0]
+        if not ratios:
+            return 1.0
+        return float(np.mean(ratios))
 
     def overlap_summary(self) -> dict[str, float]:
         """Overlapped vs serialised run time and the fraction overlap saved."""

@@ -58,18 +58,29 @@ def validate_overlap(policy: str) -> str:
 class BucketTask:
     """Work one gradient bucket contributes to the iteration (durations in seconds).
 
-    ``comm_phases`` optionally breaks the bucket's collective into named serial
-    phases (``(name, seconds)`` pairs — e.g. the intra-gather / inter-allgather
-    / intra-broadcast phases of a hierarchical all-gather).  When given, the
-    phase durations must sum to ``comm_seconds`` and the schedule records one
-    sub-span per phase inside the bucket's network occupancy.
+    ``comm_phases`` optionally breaks the bucket's collective into named
+    phases.  Two entry shapes are accepted (one shape per task, not mixed):
+
+    * ``(name, seconds)`` — serial phases placed back-to-back; the durations
+      must sum to ``comm_seconds`` (the pre-pipeline contract).
+    * ``(name, seconds, start, link)`` — explicitly placed phases from a
+      chunk-pipelined collective: ``start`` is the offset inside the bucket's
+      network occupancy and ``link`` names the fabric the phase runs on.
+      Phases on *different* links may overlap (that is the point of
+      pipelining), phases on one link must not, and the last phase must end
+      at ``comm_seconds``.
     """
 
     index: int
     ready_seconds: float
     compress_seconds: float
     comm_seconds: float
-    comm_phases: tuple[tuple[str, float], ...] = ()
+    comm_phases: tuple[tuple, ...] = ()
+
+    @property
+    def has_placed_phases(self) -> bool:
+        """True when the phases carry explicit pipelined placements."""
+        return bool(self.comm_phases) and len(self.comm_phases[0]) == 4
 
     def __post_init__(self) -> None:
         if self.index < 0:
@@ -77,9 +88,13 @@ class BucketTask:
         for name in ("ready_seconds", "compress_seconds", "comm_seconds"):
             if getattr(self, name) < 0.0:
                 raise ValueError(f"{name} must be non-negative, got {getattr(self, name)}")
-        phases = tuple((str(name), float(seconds)) for name, seconds in self.comm_phases)
-        object.__setattr__(self, "comm_phases", phases)
-        if phases:
+        if not self.comm_phases:
+            object.__setattr__(self, "comm_phases", ())
+            return
+        widths = {len(entry) for entry in self.comm_phases}
+        if widths == {2}:
+            phases = tuple((str(name), float(seconds)) for name, seconds in self.comm_phases)
+            object.__setattr__(self, "comm_phases", phases)
             if any(seconds < 0.0 for _, seconds in phases):
                 raise ValueError("comm phase durations must be non-negative")
             total = sum(seconds for _, seconds in phases)
@@ -87,15 +102,49 @@ class BucketTask:
                 raise ValueError(
                     f"comm_phases sum to {total!r} but comm_seconds is {self.comm_seconds!r}"
                 )
+            return
+        if widths != {4}:
+            raise ValueError(
+                "comm_phases entries must be uniformly (name, seconds) or "
+                "(name, seconds, start, link)"
+            )
+        phases = tuple(
+            (str(name), float(seconds), float(start), str(link))
+            for name, seconds, start, link in self.comm_phases
+        )
+        object.__setattr__(self, "comm_phases", phases)
+        tolerance = 1e-9 * max(1.0, self.comm_seconds)
+        if any(seconds < 0.0 or start < 0.0 for _, seconds, start, _ in phases):
+            raise ValueError("comm phase durations and starts must be non-negative")
+        last_end = max(start + seconds for _, seconds, start, _ in phases)
+        if abs(last_end - self.comm_seconds) > tolerance:
+            raise ValueError(
+                f"placed comm_phases end at {last_end!r} but comm_seconds is "
+                f"{self.comm_seconds!r}"
+            )
+        by_link: dict[str, list[tuple[float, float]]] = {}
+        for _, seconds, start, link in phases:
+            by_link.setdefault(link, []).append((start, start + seconds))
+        for link, spans in by_link.items():
+            spans.sort()
+            for (_, a_end), (b_start, _) in zip(spans, spans[1:]):
+                if b_start < a_end - tolerance:
+                    raise ValueError(f"placed comm_phases overlap on link {link!r}")
 
 
 @dataclass(frozen=True)
 class PhaseEvent:
-    """Absolute start/end of one named collective phase on the network lane."""
+    """Absolute start/end of one named collective phase on the network lane.
+
+    ``link`` names the fabric the phase occupies (empty for single-link
+    collectives priced before the topology layer); pipelined phases on
+    different links may overlap in time, phases sharing a link never do.
+    """
 
     name: str
     start: float
     end: float
+    link: str = ""
 
 
 @dataclass(frozen=True)
@@ -192,7 +241,15 @@ def simulate_iteration(
         end = start + task.comm_seconds
         comm_free = end
         phases: list[PhaseEvent] = []
-        if task.comm_phases:
+        if task.has_placed_phases:
+            # Pipelined placement: each phase rides at its explicit offset
+            # inside the bucket's network occupancy, keeping per-link
+            # exclusivity while phases on different links overlap.
+            for name, seconds, offset, link in task.comm_phases:
+                phases.append(
+                    PhaseEvent(name=name, start=start + offset, end=start + offset + seconds, link=link)
+                )
+        elif task.comm_phases:
             cursor = start
             for phase_index, (name, seconds) in enumerate(task.comm_phases):
                 # The last phase absorbs any accumulated rounding so the phase

@@ -27,7 +27,7 @@ from dataclasses import dataclass
 
 from ..compressors.base import CompressionResult
 from ..perfmodel.costs import DeviceProfile, distribute_cost
-from ..tensor.sparse import FLOAT_BYTES
+from ..tensor.sparse import FLOAT_BYTES, INDEX_BYTES
 from .network import NetworkModel
 from .schedule import (
     BucketTask,
@@ -54,6 +54,46 @@ def _warn_bucket_fallback_once(category: str, reason: str) -> None:
         _BUCKET_FALLBACK_WARNED.add(category)
 
 
+def _payload_density(payload_bytes: float, dense_elements: float) -> float | None:
+    """Non-zero fraction a sparse (index, value) payload covers of its dense span.
+
+    Returns ``None`` (dedup unavailable) for empty payloads or unknown spans.
+    """
+    if payload_bytes <= 0.0 or dense_elements <= 0:
+        return None
+    elements = payload_bytes / (FLOAT_BYTES + INDEX_BYTES)
+    return min(1.0, elements / dense_elements)
+
+
+def _payload_weighted_dedup_ratio(bucket_costs: list["CollectiveCost"]) -> float:
+    """Aggregate per-bucket dedup ratios, weighting each by its wire volume."""
+    weights = [cost.volume_bytes for cost in bucket_costs]
+    total = sum(weights)
+    if total <= 0.0:
+        return 1.0
+    return float(sum(w * cost.dedup_ratio for w, cost in zip(weights, bucket_costs)) / total)
+
+
+def _comm_phase_entries(cost: "CollectiveCost") -> tuple[tuple, ...]:
+    """Map a collective's phases onto placed :class:`BucketTask.comm_phases` entries.
+
+    Every entry carries its explicit placement and link as ``(name, seconds,
+    start, link)`` so :class:`~repro.distributed.schedule.PhaseEvent.link` is
+    populated uniformly — serial phases get back-to-back cumulative starts
+    (bit-identical to the tiled spans, since ``CollectiveCost.total``
+    accumulates the same way), pipelined phases keep their scheduler
+    placements with the chunk index folded into the name.
+    """
+    entries = []
+    cursor = 0.0
+    for phase in cost.phases:
+        name = phase.name if phase.chunk is None else f"{phase.name}[c{phase.chunk}]"
+        start = cursor if phase.start is None else phase.start
+        entries.append((name, phase.seconds, start, phase.link))
+        cursor = start + phase.seconds
+    return tuple(entries)
+
+
 @dataclass(frozen=True)
 class IterationTiming:
     """Simulated duration of one synchronous training iteration (seconds).
@@ -69,6 +109,10 @@ class IterationTiming:
     update: float = 0.0
     overlap: str = "none"
     schedule: IterationSchedule | None = None
+    #: Payload-weighted achieved sparse-dedup ratio across the iteration's
+    #: collectives (concatenated / deduplicated node-aggregate size); 1.0
+    #: when no dedup model is configured or nothing could be deduplicated.
+    dedup_ratio: float = 1.0
 
     @property
     def serialized(self) -> float:
@@ -178,9 +222,15 @@ class TimelineModel:
         bucket_costs = self.bucket_communication_costs(worker_results)
         if bucket_costs is not None:
             comm = float(sum(cost.total for cost in bucket_costs))
+            dedup_ratio = _payload_weighted_dedup_ratio(bucket_costs)
         else:
-            payload = max(r.sparse.payload_bytes() for r in worker_results) * self.dimension_scale
-            comm = self.collective.allgather_time(payload)
+            slowest = max(worker_results, key=lambda r: r.sparse.payload_bytes())
+            payload = slowest.sparse.payload_bytes() * self.dimension_scale
+            cost = self.collective.allgather_cost(
+                payload, density=slowest.sparse.density or None
+            )
+            comm = cost.total
+            dedup_ratio = cost.dedup_ratio
         schedule = None
         if policy != "none" and bucket_costs is not None:
             schedule = self._bucket_schedule(
@@ -193,6 +243,7 @@ class TimelineModel:
             update=self.update_seconds,
             overlap=policy,
             schedule=schedule,
+            dedup_ratio=dedup_ratio,
         )
 
     def _bucket_schedule(
@@ -226,9 +277,7 @@ class TimelineModel:
                 ready_seconds=ready_seconds[i],
                 compress_seconds=float(compress_seconds[i]),
                 comm_seconds=float(bucket_costs[i].total),
-                comm_phases=tuple(
-                    (phase.name, phase.seconds) for phase in bucket_costs[i].phases
-                ),
+                comm_phases=_comm_phase_entries(bucket_costs[i]),
             )
             for i in range(num_buckets)
         ]
@@ -281,10 +330,20 @@ class TimelineModel:
                 f"{sorted({len(p) for p in payload_lists})}",
             )
             return None
-        per_bucket_max = (max(worker[i] for worker in payload_lists) for i in range(len(payload_lists[0])))
+        num_buckets = len(payload_lists[0])
+        per_bucket_max = [max(worker[i] for worker in payload_lists) for i in range(num_buckets)]
+        # Per-bucket payload density feeds the sparse-dedup model: the
+        # dimension scale multiplies payloads and bucket sizes alike, so the
+        # density is scale-free and computed from the proxy-sized metadata.
+        sizes = worker_results[0].metadata.get("bucket_sizes")
+        if sizes is None or len(sizes) != num_buckets:
+            sizes = [0] * num_buckets  # unknown layout: density (and dedup) unavailable
         return [
-            self.collective.allgather_cost(payload * self.dimension_scale)
-            for payload in per_bucket_max
+            self.collective.allgather_cost(
+                payload * self.dimension_scale,
+                density=_payload_density(payload, size),
+            )
+            for payload, size in zip(per_bucket_max, sizes)
         ]
 
     def _scaled_ops(self, result: CompressionResult):

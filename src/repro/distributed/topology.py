@@ -49,6 +49,78 @@ from .network import (
 #: Collective operations the algorithm layer knows how to price.
 COLLECTIVE_OPS: tuple[str, ...] = ("allreduce", "allgather")
 
+#: Index-overlap assumptions the sparse-aggregate dedup model supports.
+DEDUP_ASSUMPTIONS: tuple[str, ...] = ("uniform", "identical", "disjoint")
+
+
+@dataclass(frozen=True)
+class SparseAggregateModel:
+    """Expected size of a deduplicated union of sparse top-k selections.
+
+    When a node leader reduces its ``D`` devices' (index, value) payloads
+    before the inter-node exchange, overlapping indices collapse into one
+    entry, so the node aggregate is the *union* of the selections — between
+    one worker's payload (everyone picked the same indices) and ``D`` payloads
+    (nobody overlapped).  Where the union lands depends on how correlated the
+    selections are; this model offers the three standard assumptions:
+
+    ``"uniform"``
+        Each worker's k indices are an independent uniform draw from the n
+        bucket slots.  The expected union is the closed form
+        ``n * (1 - (1 - k/n)^D)``, i.e. a per-worker multiplier of
+        ``(1 - (1 - rho)^D) / rho`` at density ``rho = k/n``.  Real top-k
+        gradients overlap *more* than uniform draws, so this is the
+        conservative default.
+    ``"identical"``
+        Every worker selects exactly the same k indices (perfectly correlated
+        gradients) — the lower bound: the union is one worker's payload.
+    ``"disjoint"``
+        No two workers share an index — the upper bound: the union is the
+        plain concatenation, capped at the dense bucket size.
+    """
+
+    assumption: str = "uniform"
+
+    def __post_init__(self) -> None:
+        if self.assumption not in DEDUP_ASSUMPTIONS:
+            raise ValueError(
+                f"unknown dedup assumption {self.assumption!r}; "
+                f"known: {list(DEDUP_ASSUMPTIONS)}"
+            )
+
+    @staticmethod
+    def _check(density: float, participants: int) -> None:
+        if not 0.0 < density <= 1.0:
+            raise ValueError(f"density must be in (0, 1], got {density}")
+        if participants < 1:
+            raise ValueError("participants must be >= 1")
+
+    def union_factor(self, density: float, participants: int) -> float:
+        """Expected union size as a multiple of one worker's selection.
+
+        Always in ``[1, min(participants, 1/density)]``: the union can never
+        be smaller than one contribution nor larger than the concatenation or
+        the dense bucket.
+        """
+        self._check(density, participants)
+        if participants == 1:
+            return 1.0
+        cap = min(float(participants), 1.0 / density)
+        if self.assumption == "identical":
+            return 1.0
+        if self.assumption == "disjoint":
+            return cap
+        return min((1.0 - (1.0 - density) ** participants) / density, cap)
+
+    def union_payload_bytes(self, payload_bytes: float, density: float, participants: int) -> float:
+        """Expected deduplicated aggregate of ``participants`` payloads of ``payload_bytes``."""
+        _check_payload(payload_bytes)
+        return payload_bytes * self.union_factor(density, participants)
+
+    def dedup_ratio(self, density: float, participants: int) -> float:
+        """Concatenated-over-deduplicated size: how much the reduce shrinks the aggregate."""
+        return participants / self.union_factor(density, participants)
+
 
 @dataclass(frozen=True)
 class ClusterTopology:
@@ -108,30 +180,65 @@ class ClusterTopology:
 
 @dataclass(frozen=True)
 class CollectivePhase:
-    """One serial phase of a collective: where it runs, how long, how much it moves."""
+    """One phase of a collective: where it runs, how long, how much it moves.
+
+    ``start`` is the phase's relative start offset within the collective:
+    ``None`` means "serial — right after the previous phase" (the pre-pipeline
+    contract), an explicit float places the phase on a pipelined timeline
+    where phases on *different* links may overlap.  ``chunk`` identifies which
+    payload chunk a pipelined phase carries (``None`` for unchunked phases).
+    """
 
     name: str
     link: str
     seconds: float
     volume_bytes: float = 0.0
+    start: float | None = None
+    chunk: int | None = None
 
 
 @dataclass(frozen=True)
 class CollectiveCost:
     """Per-phase cost breakdown of one collective operation.
 
-    ``total`` is always the plain sum of the phase durations — phases are
-    serial (phase *k+1* consumes phase *k*'s output), which is what lets the
-    schedule simulator place them back-to-back on the network lane.
+    For serial phases (``start is None`` throughout — every pre-pipeline
+    algorithm), ``total`` is the plain sum of the phase durations: phase *k+1*
+    consumes phase *k*'s output, which is what lets the schedule simulator
+    place them back-to-back on the network lane.  Chunk-pipelined costs carry
+    explicitly placed phases instead, and ``total`` is the makespan — the end
+    of the last phase, with same-link phases still strictly serial.
     """
 
     op: str
     algorithm: str
     num_workers: int
     phases: tuple[CollectivePhase, ...] = ()
+    #: Number of payload chunks the phases were pipelined over (1 = serial).
+    pipeline_chunks: int = 1
+    #: Concatenated-over-deduplicated node-aggregate size achieved by the
+    #: sparse dedup model (1.0 when dedup is off or structurally impossible).
+    dedup_ratio: float = 1.0
 
     @property
     def total(self) -> float:
+        total = 0.0
+        cursor = 0.0
+        for phase in self.phases:
+            start = cursor if phase.start is None else phase.start
+            end = start + phase.seconds
+            cursor = end
+            if end > total:
+                total = end
+        return total
+
+    @property
+    def is_pipelined(self) -> bool:
+        """True when any phase carries an explicit pipelined placement."""
+        return any(phase.start is not None for phase in self.phases)
+
+    @property
+    def serial_seconds(self) -> float:
+        """The back-to-back traversal time: plain sum of every phase duration."""
         total = 0.0
         for phase in self.phases:
             total += phase.seconds
@@ -147,13 +254,124 @@ def _check_payload(num_bytes: float) -> None:
         raise ValueError("payload bytes must be non-negative")
 
 
+def validate_pipeline_chunks(pipeline_chunks: int) -> int:
+    """Return ``pipeline_chunks`` if it is a valid chunk count, else raise."""
+    if not isinstance(pipeline_chunks, int) or pipeline_chunks < 1:
+        raise ValueError(f"pipeline_chunks must be a positive integer, got {pipeline_chunks!r}")
+    return pipeline_chunks
+
+
+@dataclass(frozen=True)
+class _PhaseSpec:
+    """Serial description of one collective phase, ready to be chunk-pipelined.
+
+    ``steps`` messages of ``step_bytes`` each over ``link``; the serial
+    duration is ``steps * (latency + step_bytes / bandwidth)``, and splitting
+    the payload into ``C`` chunks makes each chunk cost
+    ``steps * (latency + (step_bytes / C) / bandwidth)`` — the latency is paid
+    per chunk, which is why pipelining only wins when the overlap across
+    links recovers more than the extra message starts.
+    """
+
+    name: str
+    link: NetworkModel
+    steps: int
+    step_bytes: float
+    volume_bytes: float
+
+    def chunk_seconds(self, pipeline_chunks: int) -> float:
+        return self.steps * (
+            self.link.latency_s + (self.step_bytes / pipeline_chunks) / self.link.bytes_per_second
+        )
+
+
+def _pipeline_phases(
+    specs: list[_PhaseSpec], serial: list[CollectivePhase], pipeline_chunks: int
+) -> list[CollectivePhase]:
+    """Chunk-pipeline a multi-phase collective, falling back to serial when it loses.
+
+    Chunk *c*'s phase *p* starts once the same link has drained chunk *c-1*'s
+    phase *p* and phase *p-1* has delivered chunk *c* — the classic software
+    pipeline, whose makespan is latency + max-dominated instead of a pure sum.
+    Because every chunk pays each phase's message latencies again, chunking a
+    single-phase (or latency-bound) collective is a strict loss; this helper
+    then returns the serial phases unchanged, so the pipelined cost is never
+    worse than the serial one.
+    """
+    if not specs or pipeline_chunks == 1:
+        return serial
+    serial_total = 0.0
+    for phase in serial:
+        serial_total += phase.seconds
+    chunk_seconds = [spec.chunk_seconds(pipeline_chunks) for spec in specs]
+    # Greedy earliest-start list scheduling: an operation (chunk c, phase p)
+    # becomes ready when phase p-1 has delivered chunk c, and every link
+    # serves its queue work-conservingly — one transfer at a time, earliest
+    # ready first.  Tracking occupancy per *link* (not per phase) matters
+    # because several phases may share a fabric (e.g. the hierarchical
+    # all-gather's intra-node gather and broadcast), and two chunks' phases
+    # must never overlap on one wire.
+    spans: dict[tuple[int, int], tuple[float, float]] = {}
+    link_free: dict[str, float] = {}
+    pending = [(chunk, p) for chunk in range(pipeline_chunks) for p in range(len(specs))]
+    while pending:
+        best = None
+        for chunk, p in pending:
+            if p > 0 and (chunk, p - 1) not in spans:
+                continue
+            ready = spans[(chunk, p - 1)][1] if p > 0 else 0.0
+            start = max(ready, link_free.get(specs[p].link.name, 0.0))
+            key = (start, chunk, p)
+            if best is None or key < best[0]:
+                best = (key, chunk, p, start)
+        _, chunk, p, start = best
+        end = start + chunk_seconds[p]
+        spans[(chunk, p)] = (start, end)
+        link_free[specs[p].link.name] = end
+        pending.remove((chunk, p))
+    makespan = max(end for _, end in spans.values())
+    if makespan >= serial_total:
+        return serial
+    return [
+        CollectivePhase(
+            name=specs[p].name,
+            link=specs[p].link.name,
+            seconds=chunk_seconds[p],
+            volume_bytes=specs[p].volume_bytes / pipeline_chunks,
+            start=spans[(chunk, p)][0],
+            chunk=chunk,
+        )
+        for chunk in range(pipeline_chunks)
+        for p in range(len(specs))
+    ]
+
+
 class CollectiveAlgorithm:
-    """Base class: prices one or both collective ops over a :class:`ClusterTopology`."""
+    """Base class: prices one or both collective ops over a :class:`ClusterTopology`.
+
+    ``density``, ``dedup`` and ``pipeline_chunks`` are accepted by every
+    algorithm so :class:`CollectiveModel` can thread them uniformly; only the
+    algorithms with a per-node reduce point (hierarchical) and phases on more
+    than one link can act on them — single-link collectives have nothing to
+    deduplicate or overlap, so the knobs are documented no-ops there.
+    """
 
     name: str = ""
     supported_ops: tuple[str, ...] = ()
+    #: Instance-level knob defaults, overridable per :meth:`cost` call.
+    pipeline_chunks: int = 1
+    dedup: SparseAggregateModel | None = None
 
-    def cost(self, topology: ClusterTopology, op: str, num_bytes: float) -> CollectiveCost:
+    def cost(
+        self,
+        topology: ClusterTopology,
+        op: str,
+        num_bytes: float,
+        *,
+        density: float | None = None,
+        dedup: SparseAggregateModel | None = None,
+        pipeline_chunks: int | None = None,
+    ) -> CollectiveCost:
         if op not in COLLECTIVE_OPS:
             raise ValueError(f"unknown collective op {op!r}; known: {list(COLLECTIVE_OPS)}")
         if op not in self.supported_ops:
@@ -162,9 +380,26 @@ class CollectiveAlgorithm:
                 f"it supports {list(self.supported_ops)}"
             )
         _check_payload(num_bytes)
-        phases = getattr(self, "_" + op)(topology, num_bytes)
+        if pipeline_chunks is None:
+            pipeline_chunks = self.pipeline_chunks
+        validate_pipeline_chunks(pipeline_chunks)
+        if dedup is None:
+            dedup = self.dedup
+        phases, dedup_ratio = getattr(self, "_" + op)(
+            topology, num_bytes, density=density, dedup=dedup, pipeline_chunks=pipeline_chunks
+        )
+        phases = tuple(phases)
+        # Report the chunk count actually priced: a latency-bound fallback to
+        # serial phases (or an algorithm with nothing to pipeline) is 1-chunk
+        # pricing no matter what the caller asked for.
+        priced_chunks = pipeline_chunks if any(p.start is not None for p in phases) else 1
         return CollectiveCost(
-            op=op, algorithm=self.name, num_workers=topology.num_workers, phases=tuple(phases)
+            op=op,
+            algorithm=self.name,
+            num_workers=topology.num_workers,
+            phases=phases,
+            pipeline_chunks=priced_chunks,
+            dedup_ratio=dedup_ratio,
         )
 
 
@@ -179,10 +414,10 @@ class RingAllreduce(CollectiveAlgorithm):
     name = "ring-allreduce"
     supported_ops = ("allreduce",)
 
-    def _allreduce(self, topology: ClusterTopology, num_bytes: float) -> list[CollectivePhase]:
+    def _allreduce(self, topology: ClusterTopology, num_bytes: float, **_knobs):
         n = topology.num_workers
         if n == 1:
-            return []
+            return [], 1.0
         link = topology.bottleneck_link
         chunk = num_bytes / n
         seconds = (n - 1) * (link.latency_s + chunk / link.bytes_per_second)
@@ -190,7 +425,7 @@ class RingAllreduce(CollectiveAlgorithm):
         return [
             CollectivePhase("reduce-scatter", link.name, seconds, volume),
             CollectivePhase("ring-allgather", link.name, seconds, volume),
-        ]
+        ], 1.0
 
 
 class RecursiveDoubling(CollectiveAlgorithm):
@@ -205,10 +440,10 @@ class RecursiveDoubling(CollectiveAlgorithm):
     name = "recursive-doubling"
     supported_ops = ("allreduce", "allgather")
 
-    def _allreduce(self, topology: ClusterTopology, num_bytes: float) -> list[CollectivePhase]:
+    def _allreduce(self, topology: ClusterTopology, num_bytes: float, **_knobs):
         n = topology.num_workers
         if n == 1:
-            return []
+            return [], 1.0
         link = topology.bottleneck_link
         rounds = math.ceil(math.log2(n))
         return [
@@ -219,12 +454,12 @@ class RecursiveDoubling(CollectiveAlgorithm):
                 num_bytes,
             )
             for k in range(rounds)
-        ]
+        ], 1.0
 
-    def _allgather(self, topology: ClusterTopology, num_bytes: float) -> list[CollectivePhase]:
+    def _allgather(self, topology: ClusterTopology, num_bytes: float, **_knobs):
         n = topology.num_workers
         if n == 1:
-            return []
+            return [], 1.0
         link = topology.bottleneck_link
         rounds = math.ceil(math.log2(n))
         phases = []
@@ -238,7 +473,7 @@ class RecursiveDoubling(CollectiveAlgorithm):
                     block,
                 )
             )
-        return phases
+        return phases, 1.0
 
 
 class FlatAllgather(CollectiveAlgorithm):
@@ -253,14 +488,14 @@ class FlatAllgather(CollectiveAlgorithm):
     name = "flat-allgather"
     supported_ops = ("allgather",)
 
-    def _allgather(self, topology: ClusterTopology, num_bytes: float) -> list[CollectivePhase]:
+    def _allgather(self, topology: ClusterTopology, num_bytes: float, **_knobs):
         n = topology.num_workers
         if n == 1:
-            return []
+            return [], 1.0
         link = topology.bottleneck_link
         steps = n - 1
         seconds = steps * (link.latency_s + num_bytes / link.bytes_per_second)
-        return [CollectivePhase("ring-allgather", link.name, seconds, steps * num_bytes)]
+        return [CollectivePhase("ring-allgather", link.name, seconds, steps * num_bytes)], 1.0
 
 
 class Hierarchical(CollectiveAlgorithm):
@@ -280,41 +515,105 @@ class Hierarchical(CollectiveAlgorithm):
     Degenerate cases collapse exactly: ``devices_per_node == 1`` leaves only
     the inter-node phase (identical to the flat/ring algorithm), ``num_nodes
     == 1`` leaves only the intra-node phases, and one worker costs zero.
+
+    Two knobs refine the sparse all-gather beyond the PR-3 serial pricing:
+
+    * ``dedup`` + ``density`` — the node leader's reduce deduplicates
+      overlapping indices before the inter-node exchange, so the node
+      aggregate shrinks from ``D`` payloads to the expected union
+      (:class:`SparseAggregateModel`), and the final broadcast ships the
+      global union instead of the raw ``N - 1``-payload concatenation.  The
+      no-dedup case matches the disjoint-union bound while the dense-bucket
+      cap is slack (density <= 1/participants); past it, even disjoint
+      selections cannot exceed the bucket, so ``disjoint`` prices lower.
+    * ``pipeline_chunks`` — the payload is split into chunks and the
+      intra/inter phases overlap chunk-by-chunk, so the cost becomes latency
+      + max-dominated instead of a pure phase sum.  ``pipeline_chunks=1`` (or
+      any chunking that loses to the extra message latencies) keeps the
+      serial phases bit-for-bit.
     """
 
     name = "hierarchical"
     supported_ops = ("allreduce", "allgather")
 
-    def _allgather(self, topology: ClusterTopology, num_bytes: float) -> list[CollectivePhase]:
+    def __init__(
+        self,
+        pipeline_chunks: int = 1,
+        dedup: SparseAggregateModel | None = None,
+    ) -> None:
+        self.pipeline_chunks = validate_pipeline_chunks(pipeline_chunks)
+        self.dedup = dedup
+
+    def _allgather(
+        self,
+        topology: ClusterTopology,
+        num_bytes: float,
+        *,
+        density: float | None = None,
+        dedup: SparseAggregateModel | None = None,
+        pipeline_chunks: int = 1,
+    ):
         m, d, n = topology.num_nodes, topology.devices_per_node, topology.num_workers
         intra, inter = topology.intra_node, topology.inter_node
+        # The per-node reduce dedups d overlapping selections into one node
+        # aggregate; the final broadcast ships the n-worker global union.  The
+        # no-dedup aggregates (d payloads, n - 1 payloads) coincide with the
+        # disjoint-union bound until its dense-bucket cap bites (density >
+        # 1/participants), which is why both paths share one formula pair.
+        dedup_ratio = 1.0
+        node_factor = float(d)
+        broadcast_factor = float(n - 1)
+        if dedup is not None and density is not None and d > 1:
+            node_factor = dedup.union_factor(density, d)
+            broadcast_factor = dedup.union_factor(density, n) - 1.0
+            dedup_ratio = d / node_factor
         phases = []
+        specs = []
         if d > 1:
             seconds = (d - 1) * (intra.latency_s + num_bytes / intra.bytes_per_second)
             phases.append(
                 CollectivePhase("intra-gather", intra.name, seconds, (d - 1) * num_bytes)
             )
+            specs.append(_PhaseSpec("intra-gather", intra, d - 1, num_bytes, (d - 1) * num_bytes))
         if m > 1:
-            node_payload = d * num_bytes
+            node_payload = node_factor * num_bytes
             seconds = (m - 1) * (inter.latency_s + node_payload / inter.bytes_per_second)
             phases.append(
                 CollectivePhase("inter-allgather", inter.name, seconds, (m - 1) * node_payload)
             )
+            specs.append(
+                _PhaseSpec("inter-allgather", inter, m - 1, node_payload, (m - 1) * node_payload)
+            )
         if d > 1:
-            gathered = (n - 1) * num_bytes
+            gathered = broadcast_factor * num_bytes
             seconds = intra.latency_s + gathered / intra.bytes_per_second
             phases.append(CollectivePhase("intra-broadcast", intra.name, seconds, gathered))
-        return phases
+            specs.append(_PhaseSpec("intra-broadcast", intra, 1, gathered, gathered))
+        if pipeline_chunks > 1:
+            phases = _pipeline_phases(specs, phases, pipeline_chunks)
+        return phases, dedup_ratio
 
-    def _allreduce(self, topology: ClusterTopology, num_bytes: float) -> list[CollectivePhase]:
+    def _allreduce(
+        self,
+        topology: ClusterTopology,
+        num_bytes: float,
+        *,
+        density: float | None = None,
+        dedup: SparseAggregateModel | None = None,
+        pipeline_chunks: int = 1,
+    ):
         m, d = topology.num_nodes, topology.devices_per_node
         intra, inter = topology.intra_node, topology.inter_node
         phases = []
+        specs = []
         tree_rounds = math.ceil(math.log2(d)) if d > 1 else 0
         tree_seconds = tree_rounds * (intra.latency_s + num_bytes / intra.bytes_per_second)
         if d > 1:
             phases.append(
                 CollectivePhase("intra-reduce", intra.name, tree_seconds, tree_rounds * num_bytes)
+            )
+            specs.append(
+                _PhaseSpec("intra-reduce", intra, tree_rounds, num_bytes, tree_rounds * num_bytes)
             )
         if m > 1:
             chunk = num_bytes / m
@@ -322,13 +621,23 @@ class Hierarchical(CollectiveAlgorithm):
             phases.append(
                 CollectivePhase("inter-allreduce", inter.name, seconds, 2 * (m - 1) * chunk)
             )
+            specs.append(
+                _PhaseSpec("inter-allreduce", inter, 2 * (m - 1), chunk, 2 * (m - 1) * chunk)
+            )
         if d > 1:
             phases.append(
                 CollectivePhase(
                     "intra-broadcast", intra.name, tree_seconds, tree_rounds * num_bytes
                 )
             )
-        return phases
+            specs.append(
+                _PhaseSpec(
+                    "intra-broadcast", intra, tree_rounds, num_bytes, tree_rounds * num_bytes
+                )
+            )
+        if pipeline_chunks > 1:
+            phases = _pipeline_phases(specs, phases, pipeline_chunks)
+        return phases, 1.0
 
 
 #: Pluggable collective algorithms, keyed by name.
@@ -390,15 +699,28 @@ class CollectiveModel:
     The single-level model built by :meth:`flat` with the default algorithms
     reproduces ``NetworkModel.allreduce_time``/``allgather_time`` exactly —
     the old closed forms are the degenerate case of this layer.
+
+    ``pipeline_chunks`` and ``allgather_dedup`` thread the hierarchical
+    algorithm's chunk-pipelining and sparse-dedup knobs through every priced
+    collective; both default to off (``1`` / ``None``), in which case the
+    model reproduces the serial PR-3 costs bit-for-bit.  Single-link
+    algorithms have nothing to overlap or deduplicate, so the knobs are
+    no-ops for them.
     """
 
     topology: ClusterTopology
     allreduce_algorithm: str = "ring-allreduce"
     allgather_algorithm: str = "flat-allgather"
+    #: Payload chunks the hierarchical phases pipeline over (1 = serial).
+    pipeline_chunks: int = 1
+    #: Sparse-aggregate dedup model applied to hierarchical all-gathers when
+    #: the caller supplies a payload density; ``None`` disables dedup.
+    allgather_dedup: SparseAggregateModel | None = None
 
     def __post_init__(self) -> None:
         get_collective_algorithm(self.allreduce_algorithm, op="allreduce")
         get_collective_algorithm(self.allgather_algorithm, op="allgather")
+        validate_pipeline_chunks(self.pipeline_chunks)
 
     @property
     def num_workers(self) -> int:
@@ -412,12 +734,30 @@ class CollectiveModel:
     def allreduce_cost(self, num_bytes: float) -> CollectiveCost:
         """Per-phase cost of all-reducing a dense buffer of ``num_bytes``."""
         algorithm = get_collective_algorithm(self.allreduce_algorithm, op="allreduce")
-        return algorithm.cost(self.topology, "allreduce", num_bytes)
+        return algorithm.cost(
+            self.topology, "allreduce", num_bytes, pipeline_chunks=self.pipeline_chunks
+        )
 
-    def allgather_cost(self, payload_bytes_per_worker: float) -> CollectiveCost:
-        """Per-phase cost of all-gathering one sparse payload per worker."""
+    def allgather_cost(
+        self, payload_bytes_per_worker: float, *, density: float | None = None
+    ) -> CollectiveCost:
+        """Per-phase cost of all-gathering one sparse payload per worker.
+
+        ``density`` is the payload's non-zero fraction of its dense bucket;
+        it feeds the sparse dedup model (when one is configured) so the
+        hierarchical inter-node exchange carries the expected index union
+        instead of the raw concatenation.  ``None`` (unknown density)
+        disables dedup for this call.
+        """
         algorithm = get_collective_algorithm(self.allgather_algorithm, op="allgather")
-        return algorithm.cost(self.topology, "allgather", payload_bytes_per_worker)
+        return algorithm.cost(
+            self.topology,
+            "allgather",
+            payload_bytes_per_worker,
+            density=density,
+            dedup=self.allgather_dedup,
+            pipeline_chunks=self.pipeline_chunks,
+        )
 
     def allreduce_time(self, num_bytes: float) -> float:
         return self.allreduce_cost(num_bytes).total
@@ -467,11 +807,26 @@ TOPOLOGY_ETHERNET_4X8 = ClusterTopology(
     name="ethernet-4x8",
 )
 
+#: A 4x4 2-D torus of single-GPU boxes: every row is a 25 Gbps Ethernet ring,
+#: rows are joined column-wise by the 10 Gbps fabric.  Expressed through the
+#: same two-level decomposition the hierarchical algorithms use — the row ring
+#: plays the intra-node role (gather along the row first), the column ring
+#: the inter-node role — which is exactly how 2-D torus collectives
+#: decompose dimension-by-dimension.
+TOPOLOGY_TORUS_2D = ClusterTopology(
+    num_nodes=4,
+    devices_per_node=4,
+    inter_node=CLUSTER_ETHERNET_10G,
+    intra_node=CLUSTER_ETHERNET_25G,
+    name="torus-2d",
+)
+
 TOPOLOGIES: dict[str, ClusterTopology] = {
     "cluster1": TOPOLOGY_CLUSTER1_10G,
     "cluster1-25g": TOPOLOGY_CLUSTER1_25G,
     "cluster2": TOPOLOGY_CLUSTER2_100G,
     "ethernet-4x8": TOPOLOGY_ETHERNET_4X8,
+    "torus-2d": TOPOLOGY_TORUS_2D,
 }
 
 

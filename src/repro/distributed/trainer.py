@@ -43,8 +43,10 @@ from .timeline import TimelineModel
 from .topology import (
     ClusterTopology,
     CollectiveModel,
+    SparseAggregateModel,
     get_collective_algorithm,
     get_topology,
+    validate_pipeline_chunks,
 )
 from .worker import Worker
 
@@ -93,6 +95,16 @@ class TrainerConfig:
     #: Collective algorithm pricing the sparse all-gather (``"flat-allgather"``,
     #: ``"recursive-doubling"`` or ``"hierarchical"``).
     allgather_algorithm: str = "flat-allgather"
+    #: Payload chunks the hierarchical collective phases pipeline over —
+    #: ``1`` serialises the intra/inter phases (the PR-3 pricing, reproduced
+    #: bit-for-bit), larger values overlap them chunk-by-chunk.  A no-op for
+    #: single-link collective algorithms.
+    pipeline_chunks: int = 1
+    #: Index-overlap assumption for per-node sparse-payload dedup (``"uniform"``,
+    #: ``"identical"`` or ``"disjoint"``; see
+    #: :class:`~repro.distributed.topology.SparseAggregateModel`), or ``None``
+    #: to ship raw concatenated node aggregates (the PR-3 behaviour).
+    dedup_assumption: str | None = None
 
     def __post_init__(self) -> None:
         if self.num_workers < 1:
@@ -110,6 +122,9 @@ class TrainerConfig:
         validate_overlap(self.overlap)
         get_collective_algorithm(self.allreduce_algorithm, op="allreduce")
         get_collective_algorithm(self.allgather_algorithm, op="allgather")
+        validate_pipeline_chunks(self.pipeline_chunks)
+        if self.dedup_assumption is not None:
+            SparseAggregateModel(self.dedup_assumption)  # fail fast on unknown assumptions
         if self.topology is not None:
             # Fail fast like the algorithm fields: resolve preset names and
             # check the worker count here, not at trainer construction.
@@ -206,6 +221,12 @@ class DistributedTrainer:
             topology=config.resolve_topology(network),
             allreduce_algorithm=config.allreduce_algorithm,
             allgather_algorithm=config.allgather_algorithm,
+            pipeline_chunks=config.pipeline_chunks,
+            allgather_dedup=(
+                SparseAggregateModel(config.dedup_assumption)
+                if config.dedup_assumption is not None
+                else None
+            ),
         )
         self.timeline = TimelineModel(
             network=network,
@@ -303,6 +324,7 @@ class DistributedTrainer:
                     wall_time=wall_time,
                     samples=cfg.batch_size * cfg.num_workers,
                     learning_rate=lr,
+                    dedup_ratio=timing.dedup_ratio,
                 )
             )
 

@@ -72,6 +72,13 @@ class BenchmarkConfig:
     allreduce_algorithm: str = "ring-allreduce"
     #: Collective algorithm pricing the sparse all-gather.
     allgather_algorithm: str = "flat-allgather"
+    #: Payload chunks the hierarchical collective phases pipeline over
+    #: (1 = serial phases, the PR-3 pricing).
+    pipeline_chunks: int = 1
+    #: Index-overlap assumption for per-node sparse dedup (``"uniform"``,
+    #: ``"identical"``, ``"disjoint"``) or ``None`` to ship raw concatenated
+    #: node aggregates.
+    dedup_assumption: str | None = None
 
     def build_proxy_model(self, *, seed: int = 1):
         """Instantiate a freshly initialised proxy model."""

@@ -94,22 +94,49 @@ def format_phase_breakdown(cost) -> str:
 
     Accepts a :class:`~repro.distributed.CollectiveCost` (or any object with
     ``op``, ``algorithm``, ``num_workers`` and ``phases`` carrying ``name`` /
-    ``link`` / ``seconds`` / ``volume_bytes``) and shows where each serial
-    phase of the collective spends its time — the topology-aware counterpart
-    of the single-number `allgather_time`.
+    ``link`` / ``seconds`` / ``volume_bytes``) and shows where each phase of
+    the collective spends its time — the topology-aware counterpart of the
+    single-number `allgather_time`.
+
+    Serial phases render back-to-back and total to their sum.  Chunk-pipelined
+    phases (``start``/``chunk`` set) additionally show their placement, the
+    total is the makespan, and a headline line reports the chunk count and —
+    when the cost carries one — the achieved sparse-dedup ratio.
     """
     header = f"{cost.op} via {cost.algorithm} over {cost.num_workers} workers:"
     if not cost.phases:
         return "\n".join([header, "  (free: single participant)"])
     lines = [header]
+    pipelined = any(getattr(phase, "start", None) is not None for phase in cost.phases)
+    deduped = getattr(cost, "dedup_ratio", 1.0) != 1.0
+    if pipelined or deduped:
+        notes = []
+        if pipelined:
+            notes.append(f"pipelined over {getattr(cost, 'pipeline_chunks', '?')} chunks")
+        if deduped:
+            notes.append(f"dedup ratio {_format_value(cost.dedup_ratio)}x")
+        lines.append("  (" + ", ".join(notes) + ")")
     for phase in cost.phases:
-        lines.append(
-            f"  {phase.name:<16} link={phase.link:<16}"
+        label = phase.name
+        chunk = getattr(phase, "chunk", None)
+        if chunk is not None:
+            label = f"{phase.name}[c{chunk}]"
+        line = (
+            f"  {label:<20} link={phase.link:<16}"
             f" t={_format_value(phase.seconds)}s"
             f"  volume={_format_value(phase.volume_bytes)}B"
         )
-    total = sum(phase.seconds for phase in cost.phases)
-    lines.append(f"  {'total':<16} {'':<21} t={_format_value(total)}s")
+        start = getattr(phase, "start", None)
+        if start is not None:
+            line += f"  @{_format_value(start)}s"
+        lines.append(line)
+    if pipelined:
+        total = cost.total
+        label = "makespan"
+    else:
+        total = sum(phase.seconds for phase in cost.phases)
+        label = "total"
+    lines.append(f"  {label:<20} {'':<21} t={_format_value(total)}s")
     return "\n".join(lines)
 
 

@@ -47,6 +47,11 @@ class BenchmarkRunRow:
     #: Cluster topology and sparse-collective algorithm the run was priced on.
     topology: str = "flat"
     allgather_algorithm: str = "flat-allgather"
+    #: Chunk-pipelining / sparse-dedup knobs the collectives ran with, and the
+    #: mean dedup ratio the run's compressed iterations actually achieved.
+    pipeline_chunks: int = 1
+    dedup_assumption: str = "off"
+    dedup_ratio: float = 1.0
 
 
 @dataclass
@@ -110,6 +115,8 @@ def _trainer_config(
     topology: "ClusterTopology | None" = None,
     allreduce_algorithm: str | None = None,
     allgather_algorithm: str | None = None,
+    pipeline_chunks: int | None = None,
+    dedup_assumption: str | None = None,
 ) -> TrainerConfig:
     return TrainerConfig(
         num_workers=num_workers,
@@ -129,6 +136,8 @@ def _trainer_config(
         topology=topology,
         allreduce_algorithm=allreduce_algorithm or config.allreduce_algorithm,
         allgather_algorithm=allgather_algorithm or config.allgather_algorithm,
+        pipeline_chunks=config.pipeline_chunks if pipeline_chunks is None else pipeline_chunks,
+        dedup_assumption=config.dedup_assumption if dedup_assumption is None else dedup_assumption,
     )
 
 
@@ -148,6 +157,8 @@ def run_benchmark(
     topology: "str | ClusterTopology | None" = None,
     allreduce_algorithm: str | None = None,
     allgather_algorithm: str | None = None,
+    pipeline_chunks: int | None = None,
+    dedup_assumption: str | None = None,
 ) -> TrainingRunResult:
     """Train one Table 1 proxy benchmark with one compressor and evaluate it.
 
@@ -161,6 +172,11 @@ def run_benchmark(
     two-level cluster — it fixes the worker count, overriding ``num_workers``
     — and ``allreduce_algorithm``/``allgather_algorithm`` pick the collective
     algorithms (default: the benchmark config's choices).
+    ``pipeline_chunks`` overlaps the hierarchical collective's intra/inter
+    phases chunk-by-chunk, and ``dedup_assumption`` (``"uniform"``,
+    ``"identical"``, ``"disjoint"``) deduplicates overlapping sparse indices
+    in the per-node reduce before they cross the inter-node link (defaults:
+    the benchmark config's knobs).
     """
     config = benchmark if isinstance(benchmark, BenchmarkConfig) else get_benchmark(benchmark)
     resolved_topology, num_workers = _resolve_topology(config, topology, num_workers)
@@ -170,6 +186,7 @@ def run_benchmark(
         config, ratio, num_workers=num_workers, iterations=iterations, seed=seed, network=network,
         bucket_bytes=bucket_bytes, overlap=overlap, topology=resolved_topology,
         allreduce_algorithm=allreduce_algorithm, allgather_algorithm=allgather_algorithm,
+        pipeline_chunks=pipeline_chunks, dedup_assumption=dedup_assumption,
     )
     trainer = DistributedTrainer(
         model,
@@ -198,6 +215,8 @@ def compare_compressors(
     topology: "str | ClusterTopology | None" = None,
     allreduce_algorithm: str | None = None,
     allgather_algorithm: str | None = None,
+    pipeline_chunks: int | None = None,
+    dedup_assumption: str | None = None,
 ) -> BenchmarkComparison:
     """Run one benchmark for every (compressor, ratio) pair plus the dense baseline."""
     config = benchmark if isinstance(benchmark, BenchmarkConfig) else get_benchmark(benchmark)
@@ -205,7 +224,8 @@ def compare_compressors(
         config, "none", 1.0, num_workers=num_workers, iterations=iterations, seed=seed,
         network=network, device=device, bucket_bytes=bucket_bytes, overlap=overlap,
         topology=topology, allreduce_algorithm=allreduce_algorithm,
-        allgather_algorithm=allgather_algorithm,
+        allgather_algorithm=allgather_algorithm, pipeline_chunks=pipeline_chunks,
+        dedup_assumption=dedup_assumption,
     )
     baseline_quality = _quality_from_evaluation(config, baseline.final_evaluation)
     baseline_rate = baseline_quality / max(baseline.metrics.total_time, 1e-12)
@@ -218,7 +238,8 @@ def compare_compressors(
                 config, name, ratio, num_workers=num_workers, iterations=iterations, seed=seed,
                 network=network, device=device, bucket_bytes=bucket_bytes, overlap=overlap,
                 topology=topology, allreduce_algorithm=allreduce_algorithm,
-                allgather_algorithm=allgather_algorithm,
+                allgather_algorithm=allgather_algorithm, pipeline_chunks=pipeline_chunks,
+                dedup_assumption=dedup_assumption,
             )
             quality = _quality_from_evaluation(config, result.final_evaluation)
             rate = quality / max(result.metrics.total_time, 1e-12)
@@ -245,6 +266,11 @@ def compare_compressors(
                     allgather_algorithm=result.config.allgather_algorithm
                     if result.config
                     else "flat-allgather",
+                    pipeline_chunks=result.config.pipeline_chunks if result.config else 1,
+                    dedup_assumption=(result.config.dedup_assumption or "off")
+                    if result.config
+                    else "off",
+                    dedup_ratio=result.metrics.mean_dedup_ratio(),
                 )
             )
             comparison.runs[(name, ratio)] = result

@@ -6,11 +6,17 @@ and ``allgather_time`` into the degenerate single-level case of
 hard-coded values (10g/25g/100g presets, several payload sizes and worker
 counts) *and* assert bit-exact equality with the collective layer's flat
 model, so the refactor provably reproduces the pre-topology behaviour.
+
+The dedup/pipelining layer added on top must be inert at its defaults:
+``pipeline_chunks=1`` with no dedup model reproduces every PR-3
+``CollectiveCost`` — phase names, per-phase seconds, volumes and totals —
+bit-for-bit.  The hierarchical table below was captured from the PR-3 code
+before the knobs existed; any drift is a behaviour change.
 """
 
 import pytest
 
-from repro.distributed import CollectiveModel, get_network
+from repro.distributed import CollectiveModel, get_network, get_topology
 
 #: (network, num_workers, num_bytes, allreduce_seconds, allgather_seconds)
 #: computed from the seed closed forms; any drift here is a behaviour change.
@@ -74,6 +80,111 @@ class TestGoldenClosedForms:
         model = CollectiveModel.flat(get_network(network), num_workers)
         assert model.allreduce_time(num_bytes) == allreduce_s
         assert model.allgather_time(num_bytes) == allgather_s
+
+    def test_explicit_knobs_off_keeps_the_closed_forms(
+        self, network, num_workers, num_bytes, allreduce_s, allgather_s
+    ):
+        # Spelling the default knobs out (serial phases, no dedup model) must
+        # not perturb a single bit of the closed forms either.
+        model = CollectiveModel.flat(
+            get_network(network), num_workers, pipeline_chunks=1, allgather_dedup=None
+        )
+        assert model.allreduce_time(num_bytes) == allreduce_s
+        assert model.allgather_time(num_bytes) == allgather_s
+
+
+#: (preset, payload_bytes, [(phase, link, seconds, volume_bytes)...],
+#:  hierarchical_allgather_total, flat_allgather_total, ring_allreduce_total)
+#: captured from the PR-3 code (commit 534f47a) before the dedup/pipelining
+#: knobs existed; the knobs-off model must reproduce every float bit-for-bit.
+HIERARCHICAL_GOLDEN = [
+    ("ethernet-4x8", 4096.0,
+     [("intra-gather", "infiniband-100g", 3.882293333333334e-05, 28672.0),
+      ("inter-allgather", "ethernet-10g", 0.0003746948571428572, 98304.0),
+      ("intra-broadcast", "infiniband-100g", 2.1930133333333332e-05, 126976.0)],
+     0.0004354479238095239, 0.0018402308571428573, 0.0031181394285714286),
+    ("ethernet-4x8", 200000.0,
+     [("intra-gather", "infiniband-100g", 0.00022166666666666667, 1400000.0),
+      ("inter-allgather", "ethernet-10g", 0.011121428571428572, 4800000.0),
+      ("intra-broadcast", "infiniband-100g", 0.0008316666666666666, 6200000.0)],
+     0.012174761904761905, 0.01572142857142857, 0.003985714285714286),
+    ("ethernet-4x8", 2000000.0,
+     [("intra-gather", "infiniband-100g", 0.001901666666666667, 14000000.0),
+      ("inter-allgather", "ethernet-10g", 0.10986428571428572, 48000000.0),
+      ("intra-broadcast", "infiniband-100g", 0.008271666666666667, 62000000.0)],
+     0.12003761904761905, 0.1432642857142857, 0.011957142857142857),
+    ("ethernet-4x8", 20000000.0,
+     [("intra-gather", "infiniband-100g", 0.018701666666666665, 140000000.0),
+      ("inter-allgather", "ethernet-10g", 1.097292857142857, 480000000.0),
+      ("intra-broadcast", "infiniband-100g", 0.08267166666666667, 620000000.0)],
+     1.1986661904761904, 1.4186928571428572, 0.09167142857142857),
+    ("cluster1", 4096.0,
+     [("inter-allgather", "ethernet-10g", 0.00041553600000000004, 28672.0)],
+     0.00041553600000000004, 0.00041553600000000004, 0.000716384),
+    ("cluster1", 2000000.0,
+     [("inter-allgather", "ethernet-10g", 0.032350000000000004, 14000000.0)],
+     0.032350000000000004, 0.032350000000000004, 0.008700000000000001),
+    ("cluster1", 20000000.0,
+     [("inter-allgather", "ethernet-10g", 0.32035, 140000000.0)],
+     0.32035, 0.32035, 0.0807),
+    ("cluster2", 4096.0,
+     [("intra-gather", "infiniband-100g", 3.882293333333334e-05, 28672.0),
+      ("intra-broadcast", "infiniband-100g", 8.822933333333333e-06, 28672.0)],
+     4.764586666666667e-05, 3.882293333333334e-05, 7.095573333333334e-05),
+    ("cluster2", 2000000.0,
+     [("intra-gather", "infiniband-100g", 0.001901666666666667, 14000000.0),
+      ("intra-broadcast", "infiniband-100g", 0.0018716666666666667, 14000000.0)],
+     0.0037733333333333334, 0.001901666666666667, 0.0005366666666666666),
+    ("cluster2", 20000000.0,
+     [("intra-gather", "infiniband-100g", 0.018701666666666665, 140000000.0),
+      ("intra-broadcast", "infiniband-100g", 0.01867166666666667, 140000000.0)],
+     0.037373333333333335, 0.018701666666666665, 0.004736666666666667),
+]
+
+
+@pytest.mark.parametrize(
+    "preset,num_bytes,phases,hier_total,flat_total,allreduce_total",
+    HIERARCHICAL_GOLDEN,
+    ids=[f"{p}-{int(b)}B" for p, b, *_ in HIERARCHICAL_GOLDEN],
+)
+class TestHierarchicalGoldenPins:
+    """PR-3 hierarchical CollectiveCost, reproduced bit-for-bit with knobs off."""
+
+    def _model(self, preset, **kwargs):
+        return CollectiveModel(
+            get_topology(preset),
+            allgather_algorithm="hierarchical",
+            allreduce_algorithm="ring-allreduce",
+            **kwargs,
+        )
+
+    def test_default_model_matches_pr3(
+        self, preset, num_bytes, phases, hier_total, flat_total, allreduce_total
+    ):
+        cost = self._model(preset).allgather_cost(num_bytes)
+        assert cost.total == hier_total
+        assert [
+            (p.name, p.link, p.seconds, p.volume_bytes) for p in cost.phases
+        ] == phases
+        assert all(p.start is None and p.chunk is None for p in cost.phases)
+        assert self._model(preset).allreduce_cost(num_bytes).total == allreduce_total
+
+    def test_knobs_off_matches_pr3(
+        self, preset, num_bytes, phases, hier_total, flat_total, allreduce_total
+    ):
+        model = self._model(preset, pipeline_chunks=1, allgather_dedup=None)
+        cost = model.allgather_cost(num_bytes)
+        assert cost.total == hier_total
+        assert [
+            (p.name, p.link, p.seconds, p.volume_bytes) for p in cost.phases
+        ] == phases
+        assert model.allreduce_cost(num_bytes).total == allreduce_total
+
+    def test_flat_allgather_pinned(
+        self, preset, num_bytes, phases, hier_total, flat_total, allreduce_total
+    ):
+        model = CollectiveModel(get_topology(preset), pipeline_chunks=1)
+        assert model.allgather_cost(num_bytes).total == flat_total
 
 
 @pytest.mark.parametrize("network", ["10g", "25g", "100g"])

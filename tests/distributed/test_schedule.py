@@ -221,6 +221,150 @@ class TestPhaseEvents:
         assert schedule.iteration_seconds >= last_phase_end - 1e-12
 
 
+class TestPlacedPhaseEvents:
+    """Explicitly placed (pipelined) phases on the network lane."""
+
+    #: Two links, three phases, two chunks: gather/broadcast share link "a",
+    #: the exchange runs on link "b"; chunk 1's gather overlaps chunk 0's
+    #: exchange — exactly the shape the pipelined hierarchical cost emits.
+    PLACED = (
+        ("gather[c0]", 0.1, 0.0, "a"),
+        ("exchange[c0]", 0.3, 0.1, "b"),
+        ("broadcast[c0]", 0.05, 0.4, "a"),
+        ("gather[c1]", 0.1, 0.1, "a"),
+        ("exchange[c1]", 0.3, 0.4, "b"),
+        ("broadcast[c1]", 0.05, 0.7, "a"),
+    )
+
+    def _task(self, index=0, ready=0.0):
+        return BucketTask(
+            index=index,
+            ready_seconds=ready,
+            compress_seconds=0.05,
+            comm_seconds=0.75,
+            comm_phases=self.PLACED,
+        )
+
+    def test_placed_phases_ride_at_their_offsets(self):
+        task = self._task()
+        assert task.has_placed_phases
+        schedule = simulate_iteration([task], compute_seconds=0.2, overlap="comm")
+        event = schedule.events[0]
+        assert len(event.phases) == len(self.PLACED)
+        for phase, (name, seconds, offset, link) in zip(event.phases, self.PLACED):
+            assert phase.name == name
+            assert phase.link == link
+            assert phase.start == pytest.approx(event.comm_start + offset)
+            assert phase.end == pytest.approx(phase.start + seconds)
+        assert max(p.end for p in event.phases) == pytest.approx(event.comm_end)
+
+    def test_same_link_phases_never_overlap_in_trace(self):
+        tasks = [self._task(index=i, ready=0.2 - 0.1 * i) for i in range(2)]
+        schedule = simulate_iteration(tasks, compute_seconds=0.2, overlap="comm")
+        by_link: dict[str, list[tuple[float, float]]] = {}
+        for event in schedule.events:
+            for phase in event.phases:
+                by_link.setdefault(phase.link, []).append((phase.start, phase.end))
+        for spans in by_link.values():
+            spans.sort()
+            for (_, a_end), (b_start, _) in zip(spans, spans[1:]):
+                assert b_start >= a_end - 1e-12
+
+    def test_total_comm_seconds_still_sums_exactly(self):
+        tasks = [self._task(index=i) for i in range(3)]
+        schedule = simulate_iteration(tasks, compute_seconds=0.2, overlap="comm")
+        assert schedule.total_comm_seconds == pytest.approx(sum(t.comm_seconds for t in tasks))
+        # Buckets still serialise on the network lane as whole occupancies.
+        spans = sorted((e.comm_start, e.comm_end) for e in schedule.events)
+        assert all(a_end <= b_start + 1e-12 for (_, a_end), (b_start, _) in zip(spans, spans[1:]))
+
+    def test_serial_tasks_report_no_placement(self):
+        task = BucketTask(
+            index=0, ready_seconds=0.0, compress_seconds=0.0, comm_seconds=0.4,
+            comm_phases=(("one", 0.1), ("two", 0.3)),
+        )
+        assert not task.has_placed_phases
+
+    def test_overlapping_same_link_placement_rejected(self):
+        with pytest.raises(ValueError, match="overlap on link"):
+            BucketTask(
+                index=0, ready_seconds=0.0, compress_seconds=0.0, comm_seconds=0.3,
+                comm_phases=(("p0", 0.2, 0.0, "a"), ("p1", 0.2, 0.1, "a")),
+            )
+
+    def test_end_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="comm_seconds"):
+            BucketTask(
+                index=0, ready_seconds=0.0, compress_seconds=0.0, comm_seconds=1.0,
+                comm_phases=(("p0", 0.2, 0.0, "a"),),
+            )
+
+    def test_mixed_entry_shapes_rejected(self):
+        with pytest.raises(ValueError, match="uniformly"):
+            BucketTask(
+                index=0, ready_seconds=0.0, compress_seconds=0.0, comm_seconds=0.5,
+                comm_phases=(("p0", 0.2), ("p1", 0.3, 0.2, "a")),
+            )
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            BucketTask(
+                index=0, ready_seconds=0.0, compress_seconds=0.0, comm_seconds=0.2,
+                comm_phases=(("p0", 0.2, -0.1, "a"),),
+            )
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        policy=st.sampled_from(OVERLAP_POLICIES),
+        chunks=st.integers(min_value=2, max_value=8),
+        payload=st.floats(min_value=1e4, max_value=1e8),
+        num_buckets=st.integers(min_value=1, max_value=4),
+    )
+    def test_lane_consistency_with_pipelined_collective_costs(
+        self, policy, chunks, payload, num_buckets
+    ):
+        # End-to-end shape check: real pipelined hierarchical costs, mapped
+        # through the timeline's own comm-phase conversion, must schedule
+        # with exclusive per-link lanes and an exactly-summing comm total.
+        from repro.distributed import COLLECTIVE_ALGORITHMS, ClusterTopology, NetworkModel
+        from repro.distributed.timeline import _comm_phase_entries
+
+        topology = ClusterTopology(
+            num_nodes=4,
+            devices_per_node=4,
+            inter_node=NetworkModel(bandwidth_gbps=10.0, latency_s=5e-5, name="inter"),
+            intra_node=NetworkModel(bandwidth_gbps=100.0, latency_s=5e-6, name="intra"),
+        )
+        cost = COLLECTIVE_ALGORITHMS["hierarchical"].cost(
+            topology, "allgather", payload, pipeline_chunks=chunks
+        )
+        tasks = [
+            BucketTask(
+                index=i,
+                ready_seconds=(num_buckets - i) / num_buckets,
+                compress_seconds=0.01,
+                comm_seconds=cost.total,
+                comm_phases=_comm_phase_entries(cost),
+            )
+            for i in range(num_buckets)
+        ]
+        schedule = simulate_iteration(tasks, compute_seconds=1.0, overlap=policy)
+        assert schedule.total_comm_seconds == pytest.approx(
+            sum(t.comm_seconds for t in tasks), rel=1e-12
+        )
+        by_link: dict[str, list[tuple[float, float]]] = {}
+        for event in schedule.events:
+            assert len(event.phases) == len(cost.phases)
+            for phase in event.phases:
+                assert event.comm_start - 1e-12 <= phase.start
+                assert phase.end <= event.comm_end + 1e-12
+                by_link.setdefault(phase.link, []).append((phase.start, phase.end))
+        for spans in by_link.values():
+            spans.sort()
+            for (_, a_end), (b_start, _) in zip(spans, spans[1:]):
+                assert b_start >= a_end - 1e-9 * max(1.0, a_end)
+
+
 @st.composite
 def _workloads(draw):
     compute = draw(st.floats(min_value=0.0, max_value=2.0))

@@ -10,6 +10,7 @@ from repro.distributed import (
     ClusterTopology,
     CollectiveModel,
     NetworkModel,
+    SparseAggregateModel,
     TimelineModel,
     compute_time_for_overhead,
 )
@@ -401,6 +402,8 @@ class TestTopologyAwareTimeline:
             ]
             assert event.phases[0].start == event.comm_start
             assert event.phases[-1].end == event.comm_end
+            # Serial phases carry their fabric too, not just pipelined ones.
+            assert [p.link for p in event.phases] == ["intra", "inter", "intra"]
 
     def test_flat_allgather_single_phase_span(self):
         results = self._bucketed_results()
@@ -418,3 +421,102 @@ class TestTopologyAwareTimeline:
         )
         hier = self._timeline(hier_collective)
         assert hier.baseline_iteration().communication < flat.baseline_iteration().communication
+
+
+class TestDedupAndPipelinedTimeline:
+    """Sparse-dedup and chunk-pipelining knobs threaded through TimelineModel."""
+
+    INTER = NetworkModel(bandwidth_gbps=10.0, latency_s=5e-5, name="inter", efficiency=0.35)
+    INTRA = NetworkModel(bandwidth_gbps=100.0, latency_s=5e-6, name="intra", efficiency=0.6)
+
+    def _collective(self, **kwargs):
+        topology = ClusterTopology(
+            num_nodes=4, devices_per_node=2, inter_node=self.INTER, intra_node=self.INTRA
+        )
+        return CollectiveModel(topology, allgather_algorithm="hierarchical", **kwargs)
+
+    def _timeline(self, collective, compute=0.02, scale=1.0):
+        return TimelineModel(
+            network=self.INTER,
+            device=GPU_V100,
+            compute_seconds=compute,
+            num_workers=collective.num_workers,
+            model_dimension=20_000,
+            dimension_scale=scale,
+            collective=collective,
+        )
+
+    def _bucketed_results(self, num_workers=2, ratio=0.05):
+        from repro.pipeline import CompressionPipeline
+
+        gradient = realistic_gradient(20_000, seed=13)
+        pipeline = CompressionPipeline(create_compressor("topk"), bucket_bytes=16_000)
+        return [pipeline.compress(gradient, ratio) for _ in range(num_workers)]
+
+    def test_dedup_prices_cheaper_and_reports_achieved_ratio(self):
+        results = self._bucketed_results()
+        plain = self._timeline(self._collective()).compressed_iteration(results)
+        deduped = self._timeline(
+            self._collective(allgather_dedup=SparseAggregateModel("uniform"))
+        ).compressed_iteration(results)
+        assert deduped.communication < plain.communication
+        assert deduped.dedup_ratio > 1.0
+        assert plain.dedup_ratio == 1.0
+
+    def test_density_comes_from_bucket_metadata(self):
+        # The per-bucket density the dedup model sees is payload elements over
+        # bucket elements, so a denser compression dedups harder per byte.
+        sparse = self._bucketed_results(ratio=0.01)
+        dense = self._bucketed_results(ratio=0.2)
+        timeline = self._timeline(
+            self._collective(allgather_dedup=SparseAggregateModel("uniform"))
+        )
+        assert (
+            timeline.compressed_iteration(dense).dedup_ratio
+            > timeline.compressed_iteration(sparse).dedup_ratio
+        )
+
+    def test_pipelined_timeline_faster_and_schedule_carries_placed_phases(self):
+        # Proxy payloads are latency-bound (where chunking rightly falls back
+        # to serial), so price them at full-model scale to see the overlap win.
+        results = self._bucketed_results()
+        serial = self._timeline(self._collective(), scale=1000.0).compressed_iteration(
+            results, overlap="comm"
+        )
+        piped = self._timeline(
+            self._collective(pipeline_chunks=4), scale=1000.0
+        ).compressed_iteration(results, overlap="comm")
+        assert piped.communication < serial.communication
+        assert piped.total < serial.total
+        event = piped.schedule.events[0]
+        names = [p.name for p in event.phases]
+        assert any(name.endswith("[c0]") for name in names)
+        assert {p.link for p in event.phases} == {"intra", "inter"}
+        # Phases on one link never overlap inside the bucket's occupancy.
+        by_link = {}
+        for phase in event.phases:
+            by_link.setdefault(phase.link, []).append((phase.start, phase.end))
+        for spans in by_link.values():
+            spans.sort()
+            assert all(a[1] <= b[0] + 1e-12 for a, b in zip(spans, spans[1:]))
+
+    def test_unbucketed_results_also_dedup_via_sparse_density(self):
+        gradient = realistic_gradient(20_000, seed=13)
+        results = [create_compressor("topk").compress(gradient, 0.1) for _ in range(2)]
+        plain = self._timeline(self._collective()).compressed_iteration(results)
+        deduped = self._timeline(
+            self._collective(allgather_dedup=SparseAggregateModel("uniform"))
+        ).compressed_iteration(results)
+        assert deduped.communication < plain.communication
+        assert deduped.dedup_ratio > 1.0
+
+    def test_knobs_off_reproduce_pr3_totals_bit_for_bit(self):
+        results = self._bucketed_results()
+        default = self._timeline(self._collective())
+        knobs_off = self._timeline(self._collective(pipeline_chunks=1, allgather_dedup=None))
+        for policy in ("none", "comm", "comm+compress"):
+            a = default.compressed_iteration(results, overlap=policy)
+            b = knobs_off.compressed_iteration(results, overlap=policy)
+            assert a.total == b.total
+            assert a.communication == b.communication
+            assert b.dedup_ratio == 1.0

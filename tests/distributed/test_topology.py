@@ -6,15 +6,19 @@ import pytest
 
 from repro.distributed import (
     COLLECTIVE_ALGORITHMS,
+    DEDUP_ASSUMPTIONS,
     TOPOLOGIES,
     ClusterTopology,
     CollectiveModel,
     NetworkModel,
+    SparseAggregateModel,
     get_collective_algorithm,
     get_network,
     get_topology,
     hierarchical_crossover_factor,
+    validate_pipeline_chunks,
 )
+from repro.distributed.topology import Hierarchical
 from repro.distributed.network import CLUSTER_ETHERNET_10G, NODE_INFINIBAND_100G
 
 ETH = NetworkModel(bandwidth_gbps=10.0, latency_s=50e-6, name="eth", efficiency=1.0)
@@ -219,7 +223,13 @@ class TestCollectiveModel:
 
 class TestTopologyPresets:
     def test_registry_contents(self):
-        assert set(TOPOLOGIES) == {"cluster1", "cluster1-25g", "cluster2", "ethernet-4x8"}
+        assert set(TOPOLOGIES) == {
+            "cluster1",
+            "cluster1-25g",
+            "cluster2",
+            "ethernet-4x8",
+            "torus-2d",
+        }
 
     def test_cluster1_mirrors_appendix_d(self):
         topo = get_topology("cluster1")
@@ -237,11 +247,26 @@ class TestTopologyPresets:
         assert get_topology("ETHERNET-4X8") is TOPOLOGIES["ethernet-4x8"]
 
     def test_unknown_lists_keys_and_full_names(self):
-        with pytest.raises(ValueError) as excinfo:
+        # The error must enumerate every available preset (short keys and
+        # full names alike) so a typo is self-diagnosing — the same contract
+        # get_network's lookup carries.
+        with pytest.raises(ValueError, match="unknown topology") as excinfo:
             get_topology("cluster3")
         message = str(excinfo.value)
-        assert "cluster1" in message
-        assert "cluster2-infiniband-100g" in message
+        for key in TOPOLOGIES:
+            assert key in message
+        for topology in TOPOLOGIES.values():
+            assert topology.name in message
+
+    def test_torus_2d_preset_shape(self):
+        topo = get_topology("torus-2d")
+        assert (topo.num_nodes, topo.devices_per_node) == (4, 4)
+        assert topo.num_workers == 16
+        assert not topo.is_single_level
+        # Row rings are the faster 25g fabric, column rings the 10g one.
+        assert topo.intra_node.name == "ethernet-25g"
+        assert topo.inter_node.name == "ethernet-10g"
+        assert get_topology("TORUS-2D") is TOPOLOGIES["torus-2d"]
 
     def test_ethernet_4x8_clears_the_crossover(self):
         topo = get_topology("ethernet-4x8")
@@ -255,3 +280,239 @@ class TestTopologyPresets:
         model = CollectiveModel(topo)
         assert model.allreduce_time(4e6) == get_network("10g").allreduce_time(4e6, 8)
         assert model.allgather_time(1e5) == get_network("10g").allgather_time(1e5, 8)
+
+
+class TestSparseAggregateModel:
+    def test_known_assumptions(self):
+        assert DEDUP_ASSUMPTIONS == ("uniform", "identical", "disjoint")
+        for assumption in DEDUP_ASSUMPTIONS:
+            SparseAggregateModel(assumption)
+
+    def test_unknown_assumption_rejected(self):
+        with pytest.raises(ValueError, match="unknown dedup assumption"):
+            SparseAggregateModel("correlated")
+
+    def test_uniform_closed_form(self):
+        model = SparseAggregateModel("uniform")
+        # n(1 - (1 - rho)^D) / k with rho = 0.1, D = 8.
+        assert model.union_factor(0.1, 8) == pytest.approx((1 - 0.9**8) / 0.1)
+        assert model.union_factor(0.5, 2) == pytest.approx(1.5)
+
+    def test_bounds_identical_and_disjoint(self):
+        identical = SparseAggregateModel("identical")
+        disjoint = SparseAggregateModel("disjoint")
+        uniform = SparseAggregateModel("uniform")
+        assert identical.union_factor(0.05, 8) == 1.0
+        assert disjoint.union_factor(0.05, 8) == 8.0
+        assert 1.0 < uniform.union_factor(0.05, 8) < 8.0
+
+    def test_union_capped_by_dense_bucket(self):
+        # 8 workers at 30% density cannot select more than the whole bucket.
+        assert SparseAggregateModel("disjoint").union_factor(0.3, 8) == pytest.approx(1 / 0.3)
+        assert SparseAggregateModel("uniform").union_factor(0.3, 8) <= 1 / 0.3
+
+    def test_single_participant_is_identity(self):
+        for assumption in DEDUP_ASSUMPTIONS:
+            assert SparseAggregateModel(assumption).union_factor(0.01, 1) == 1.0
+
+    def test_union_payload_and_dedup_ratio(self):
+        model = SparseAggregateModel("uniform")
+        factor = model.union_factor(0.1, 4)
+        assert model.union_payload_bytes(1000.0, 0.1, 4) == pytest.approx(1000.0 * factor)
+        assert model.dedup_ratio(0.1, 4) == pytest.approx(4 / factor)
+
+    def test_invalid_inputs_rejected(self):
+        model = SparseAggregateModel()
+        with pytest.raises(ValueError, match="density"):
+            model.union_factor(0.0, 4)
+        with pytest.raises(ValueError, match="density"):
+            model.union_factor(1.5, 4)
+        with pytest.raises(ValueError, match="participants"):
+            model.union_factor(0.1, 0)
+        with pytest.raises(ValueError, match="non-negative"):
+            model.union_payload_bytes(-1.0, 0.1, 4)
+
+
+class TestDedupAllgather:
+    def test_dedup_shrinks_inter_payload(self):
+        topo = two_level(4, 8)
+        plain = get_collective_algorithm("hierarchical").cost(topo, "allgather", 1e5)
+        dedup = get_collective_algorithm("hierarchical").cost(
+            topo, "allgather", 1e5, density=0.1, dedup=SparseAggregateModel("uniform")
+        )
+        factor = SparseAggregateModel("uniform").union_factor(0.1, 8)
+        plain_inter = next(p for p in plain.phases if p.name == "inter-allgather")
+        dedup_inter = next(p for p in dedup.phases if p.name == "inter-allgather")
+        assert dedup_inter.volume_bytes == pytest.approx(3 * factor * 1e5)
+        assert dedup_inter.volume_bytes < plain_inter.volume_bytes
+        assert dedup.total < plain.total
+        assert dedup.dedup_ratio == pytest.approx(8 / factor)
+        assert plain.dedup_ratio == 1.0
+
+    def test_broadcast_ships_global_union(self):
+        topo = two_level(4, 8)
+        dedup = get_collective_algorithm("hierarchical").cost(
+            topo, "allgather", 1e5, density=0.1, dedup=SparseAggregateModel("uniform")
+        )
+        factor_n = SparseAggregateModel("uniform").union_factor(0.1, 32)
+        broadcast = next(p for p in dedup.phases if p.name == "intra-broadcast")
+        assert broadcast.volume_bytes == pytest.approx((factor_n - 1.0) * 1e5)
+
+    def test_no_density_disables_dedup(self):
+        topo = two_level(4, 8)
+        plain = get_collective_algorithm("hierarchical").cost(topo, "allgather", 1e5)
+        no_density = get_collective_algorithm("hierarchical").cost(
+            topo, "allgather", 1e5, dedup=SparseAggregateModel("uniform")
+        )
+        assert no_density.total == plain.total
+        assert no_density.dedup_ratio == 1.0
+
+    def test_disjoint_at_low_density_matches_no_dedup_exactly(self):
+        # No-overlap selections concatenate without shrinking, so the bound
+        # coincides with the PR-3 no-dedup pricing (until the dense cap bites).
+        topo = two_level(4, 8)
+        plain = get_collective_algorithm("hierarchical").cost(topo, "allgather", 1e5)
+        disjoint = get_collective_algorithm("hierarchical").cost(
+            topo, "allgather", 1e5, density=0.01, dedup=SparseAggregateModel("disjoint")
+        )
+        assert disjoint.total == plain.total
+        assert [p.seconds for p in disjoint.phases] == [p.seconds for p in plain.phases]
+
+    def test_single_device_nodes_have_no_reduce_point(self):
+        topo = ClusterTopology(num_nodes=8, devices_per_node=1, inter_node=ETH, intra_node=FAST)
+        dedup = get_collective_algorithm("hierarchical").cost(
+            topo, "allgather", 1e5, density=0.01, dedup=SparseAggregateModel("uniform")
+        )
+        plain = get_collective_algorithm("hierarchical").cost(topo, "allgather", 1e5)
+        assert dedup.total == plain.total
+        assert dedup.dedup_ratio == 1.0
+
+    def test_flat_allgather_ignores_dedup(self):
+        # A flat ring has no reduce point: raw payloads circulate verbatim.
+        topo = two_level(4, 8)
+        plain = get_collective_algorithm("flat-allgather").cost(topo, "allgather", 1e5)
+        dedup = get_collective_algorithm("flat-allgather").cost(
+            topo, "allgather", 1e5, density=0.1, dedup=SparseAggregateModel("uniform")
+        )
+        assert dedup.total == plain.total
+        assert dedup.dedup_ratio == 1.0
+
+
+class TestPipelinedHierarchical:
+    def _cost(self, chunks, payload=4e6, topo=None, **kwargs):
+        topo = topo or two_level(4, 8)
+        return get_collective_algorithm("hierarchical").cost(
+            topo, "allgather", payload, pipeline_chunks=chunks, **kwargs
+        )
+
+    def test_chunks_1_is_bit_for_bit_serial(self):
+        serial = self._cost(1)
+        assert not serial.is_pipelined
+        assert serial.pipeline_chunks == 1
+        assert all(p.start is None and p.chunk is None for p in serial.phases)
+        assert serial.total == serial.serial_seconds
+
+    def test_pipelined_beats_serial_on_bandwidth_bound_payload(self):
+        serial = self._cost(1)
+        piped = self._cost(4)
+        assert piped.is_pipelined
+        assert piped.total < serial.total
+        assert piped.pipeline_chunks == 4
+
+    def test_makespan_formula(self):
+        # Uniform per-chunk stage times: makespan = sum of stage times plus
+        # (C - 1) repeats of the slowest stage.
+        chunks = 4
+        piped = self._cost(chunks)
+        stage_seconds = sorted(
+            {(p.name, p.seconds) for p in piped.phases}, key=lambda item: item[0]
+        )
+        per_chunk = [seconds for _, seconds in stage_seconds]
+        expected = sum(per_chunk) + (chunks - 1) * max(per_chunk)
+        assert piped.total == pytest.approx(expected)
+
+    def test_phase_sum_invariant_per_chunk(self):
+        chunks = 4
+        piped = self._cost(chunks)
+        by_chunk: dict[int, float] = {}
+        for phase in piped.phases:
+            by_chunk[phase.chunk] = by_chunk.get(phase.chunk, 0.0) + phase.seconds
+        assert set(by_chunk) == set(range(chunks))
+        sums = list(by_chunk.values())
+        assert all(s == pytest.approx(sums[0]) for s in sums)
+        # The makespan sits between one chunk's serial traversal and C of them.
+        assert sums[0] <= piped.total <= chunks * sums[0] + 1e-12
+
+    def test_same_link_phases_never_overlap(self):
+        piped = self._cost(6)
+        by_link: dict[str, list[tuple[float, float]]] = {}
+        for phase in piped.phases:
+            by_link.setdefault(phase.link, []).append((phase.start, phase.start + phase.seconds))
+        for spans in by_link.values():
+            spans.sort()
+            for (_, a_end), (b_start, _) in zip(spans, spans[1:]):
+                assert b_start >= a_end - 1e-12
+
+    def test_volume_preserved_across_chunks(self):
+        serial = self._cost(1)
+        piped = self._cost(4)
+        assert piped.volume_bytes == pytest.approx(serial.volume_bytes)
+
+    def test_latency_bound_payload_falls_back_to_serial(self):
+        serial = self._cost(1, payload=8.0)
+        piped = self._cost(16, payload=8.0)
+        assert not piped.is_pipelined
+        assert piped.total == serial.total
+        # The cost reports what was actually priced: serial, 1-chunk.
+        assert piped.pipeline_chunks == 1
+
+    def test_single_link_algorithm_reports_serial_chunks(self):
+        cost = get_collective_algorithm("flat-allgather").cost(
+            two_level(4, 8), "allgather", 4e6, pipeline_chunks=8
+        )
+        assert cost.pipeline_chunks == 1
+
+    def test_pipelined_allreduce(self):
+        topo = two_level(4, 8)
+        serial = get_collective_algorithm("hierarchical").cost(topo, "allreduce", 64e6)
+        piped = get_collective_algorithm("hierarchical").cost(
+            topo, "allreduce", 64e6, pipeline_chunks=4
+        )
+        assert piped.total <= serial.total
+
+    def test_instance_level_knobs(self):
+        topo = two_level(4, 8)
+        algo = Hierarchical(pipeline_chunks=4, dedup=SparseAggregateModel("uniform"))
+        explicit = get_collective_algorithm("hierarchical").cost(
+            topo, "allgather", 4e6, density=0.1,
+            dedup=SparseAggregateModel("uniform"), pipeline_chunks=4,
+        )
+        assert algo.cost(topo, "allgather", 4e6, density=0.1).total == explicit.total
+
+    def test_invalid_pipeline_chunks_rejected(self):
+        with pytest.raises(ValueError, match="pipeline_chunks"):
+            self._cost(0)
+        with pytest.raises(ValueError, match="pipeline_chunks"):
+            validate_pipeline_chunks(2.5)
+        with pytest.raises(ValueError, match="pipeline_chunks"):
+            Hierarchical(pipeline_chunks=-1)
+        with pytest.raises(ValueError, match="pipeline_chunks"):
+            CollectiveModel(two_level(4, 8), pipeline_chunks=0)
+
+    def test_collective_model_threads_both_knobs(self):
+        topo = two_level(4, 8)
+        model = CollectiveModel(
+            topo,
+            allgather_algorithm="hierarchical",
+            pipeline_chunks=4,
+            allgather_dedup=SparseAggregateModel("uniform"),
+        )
+        direct = get_collective_algorithm("hierarchical").cost(
+            topo, "allgather", 4e6, density=0.1,
+            dedup=SparseAggregateModel("uniform"), pipeline_chunks=4,
+        )
+        cost = model.allgather_cost(4e6, density=0.1)
+        assert cost.total == direct.total
+        assert cost.dedup_ratio == direct.dedup_ratio
+        # Without a density the dedup model stays silent but pipelining holds.
+        assert model.allgather_cost(4e6).dedup_ratio == 1.0

@@ -21,9 +21,11 @@ from hypothesis import strategies as st
 
 from repro.distributed import (
     COLLECTIVE_ALGORITHMS,
+    DEDUP_ASSUMPTIONS,
     ClusterTopology,
     CollectiveModel,
     NetworkModel,
+    SparseAggregateModel,
     hierarchical_crossover_factor,
 )
 
@@ -175,3 +177,154 @@ class TestHierarchicalVsFlat:
         flat = COLLECTIVE_ALGORITHMS["flat-allgather"].cost(topology, "allgather", num_bytes)
         hier_inter = sum(p.volume_bytes for p in hier.phases if p.link == "inter")
         assert hier_inter <= sum(p.volume_bytes for p in flat.phases) + 1e-9
+
+
+densities = st.floats(min_value=1e-6, max_value=1.0)
+chunk_counts = st.integers(min_value=2, max_value=16)
+dedup_models = st.sampled_from([None, *(SparseAggregateModel(a) for a in DEDUP_ASSUMPTIONS)])
+
+
+class TestDedupInvariants:
+    @settings(max_examples=200, deadline=None)
+    @given(
+        assumption=st.sampled_from(DEDUP_ASSUMPTIONS),
+        density=densities,
+        participants=st.integers(min_value=1, max_value=64),
+        payload=st.floats(min_value=0.0, max_value=1e9),
+    )
+    def test_union_payload_bounded_by_max_and_sum(self, assumption, density, participants, payload):
+        model = SparseAggregateModel(assumption)
+        union = model.union_payload_bytes(payload, density, participants)
+        # Never smaller than the largest contribution, never larger than the
+        # concatenation of all of them (nor the dense bucket itself).
+        assert payload - 1e-12 <= union <= participants * payload + 1e-9
+        assert union <= (payload / density) * (1.0 + 1e-9) + 1e-9
+        assert model.dedup_ratio(density, participants) >= 1.0 - 1e-12
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        assumption=st.sampled_from(DEDUP_ASSUMPTIONS),
+        density=densities,
+        scale=st.floats(min_value=1.0, max_value=1e4),
+        participants=st.integers(min_value=1, max_value=64),
+    )
+    def test_union_factor_monotone_in_density(self, assumption, density, scale, participants):
+        # Denser selections overlap more, so the union factor (and with it the
+        # deduplicated payload per contributed byte) only shrinks as density
+        # grows.
+        model = SparseAggregateModel(assumption)
+        sparser = model.union_factor(min(density, 1.0), participants)
+        denser = model.union_factor(min(density * scale, 1.0), participants)
+        assert denser <= sparser + 1e-12
+
+    @settings(max_examples=200, deadline=None)
+    @given(density=densities, participants=st.integers(min_value=1, max_value=64))
+    def test_assumption_ordering(self, density, participants):
+        identical = SparseAggregateModel("identical").union_factor(density, participants)
+        uniform = SparseAggregateModel("uniform").union_factor(density, participants)
+        disjoint = SparseAggregateModel("disjoint").union_factor(density, participants)
+        assert identical - 1e-12 <= uniform <= disjoint + 1e-12
+
+    @settings(max_examples=150, deadline=None)
+    @given(
+        topology=topologies(min_nodes=2, min_devices=2),
+        num_bytes=payloads,
+        density=densities,
+        dedup=dedup_models,
+    )
+    def test_dedup_never_costs_more_than_raw_concatenation(
+        self, topology, num_bytes, density, dedup
+    ):
+        algo = COLLECTIVE_ALGORITHMS["hierarchical"]
+        plain = algo.cost(topology, "allgather", num_bytes)
+        deduped = algo.cost(topology, "allgather", num_bytes, density=density, dedup=dedup)
+        assert deduped.total <= plain.total * (1.0 + 1e-12) + 1e-15
+        assert deduped.dedup_ratio >= 1.0 - 1e-12
+
+
+class TestPipeliningInvariants:
+    @settings(max_examples=200, deadline=None)
+    @given(
+        topology=topologies(),
+        num_bytes=payloads,
+        chunks=chunk_counts,
+        op=st.sampled_from(["allgather", "allreduce"]),
+    )
+    def test_pipelined_total_bounded_by_serial_and_max_phase(
+        self, topology, num_bytes, chunks, op
+    ):
+        algo = COLLECTIVE_ALGORITHMS["hierarchical"]
+        serial = algo.cost(topology, op, num_bytes)
+        piped = algo.cost(topology, op, num_bytes, pipeline_chunks=chunks)
+        # Never slower than the serial phases, never faster than the busiest
+        # single phase (each link still moves all of its bytes).
+        assert piped.total <= serial.total * (1.0 + 1e-12) + 1e-15
+        max_phase = max((p.seconds for p in serial.phases), default=0.0)
+        assert piped.total >= max_phase * (1.0 - 1e-12) - 1e-15
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        topology=topologies(min_nodes=2, min_devices=2),
+        num_bytes=payloads,
+        chunks=chunk_counts,
+        density=densities,
+        dedup=dedup_models,
+    )
+    def test_chunk_phase_sums_equal_and_lanes_exclusive(
+        self, topology, num_bytes, chunks, density, dedup
+    ):
+        piped = COLLECTIVE_ALGORITHMS["hierarchical"].cost(
+            topology, "allgather", num_bytes,
+            pipeline_chunks=chunks, density=density, dedup=dedup,
+        )
+        if not piped.is_pipelined:
+            return  # chunking lost to the extra latencies: serial fallback
+        # Per-chunk phase-sum invariant: every chunk traverses the same
+        # serial stage times.
+        by_chunk: dict[int, float] = {}
+        by_link: dict[str, list[tuple[float, float]]] = {}
+        for phase in piped.phases:
+            assert phase.start is not None and phase.start >= 0.0
+            by_chunk[phase.chunk] = by_chunk.get(phase.chunk, 0.0) + phase.seconds
+        for phase in piped.phases:
+            by_link.setdefault(phase.link, []).append(
+                (phase.start, phase.start + phase.seconds)
+            )
+        sums = list(by_chunk.values())
+        assert set(by_chunk) == set(range(chunks))
+        assert all(s == pytest.approx(sums[0], rel=1e-9, abs=1e-15) for s in sums)
+        # One link never carries two chunks' phases at once.
+        for spans in by_link.values():
+            spans.sort()
+            for (_, a_end), (b_start, _) in zip(spans, spans[1:]):
+                assert b_start >= a_end - 1e-9 * max(1.0, a_end)
+
+    @settings(max_examples=150, deadline=None)
+    @given(topology=topologies(), num_bytes=payloads, chunks=chunk_counts, density=densities)
+    def test_volume_preserved_by_chunking(self, topology, num_bytes, chunks, density):
+        algo = COLLECTIVE_ALGORITHMS["hierarchical"]
+        serial = algo.cost(topology, "allgather", num_bytes)
+        piped = algo.cost(topology, "allgather", num_bytes, pipeline_chunks=chunks)
+        assert piped.volume_bytes == pytest.approx(serial.volume_bytes, rel=1e-9, abs=1e-9)
+
+    @settings(max_examples=150, deadline=None)
+    @given(
+        network=networks(),
+        num_workers=st.integers(min_value=1, max_value=64),
+        num_bytes=payloads,
+        chunks=chunk_counts,
+    )
+    def test_single_link_algorithms_unaffected_by_knobs(
+        self, network, num_workers, num_bytes, chunks
+    ):
+        # Flat/ring collectives have nothing to overlap or deduplicate; the
+        # knobs must leave the closed forms bit-for-bit alone.
+        flat = CollectiveModel.flat(network, num_workers)
+        knobs = CollectiveModel.flat(
+            network,
+            num_workers,
+            pipeline_chunks=chunks,
+            allgather_dedup=SparseAggregateModel("uniform"),
+        )
+        assert knobs.allgather_cost(num_bytes, density=0.05).total == flat.allgather_time(num_bytes)
+        assert knobs.allreduce_cost(num_bytes).total == flat.allreduce_time(num_bytes)

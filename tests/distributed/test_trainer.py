@@ -287,3 +287,64 @@ class TestTopologyThreading:
             _config(seed=6, topology=ClusterTopology.flat(CLUSTER_ETHERNET_10G, 4)),
         ).run()
         assert flat.metrics.total_time == default.metrics.total_time
+
+
+class TestDedupPipelineThreading:
+    """pipeline_chunks / dedup_assumption threaded config -> collective -> metrics."""
+
+    def _two_level(self):
+        from repro.distributed import ClusterTopology
+        from repro.distributed.network import CLUSTER_ETHERNET_10G, NODE_INFINIBAND_100G
+
+        return ClusterTopology(
+            num_nodes=2,
+            devices_per_node=2,
+            inter_node=CLUSTER_ETHERNET_10G,
+            intra_node=NODE_INFINIBAND_100G,
+            name="test-2x2",
+        )
+
+    def test_invalid_knobs_rejected_at_config_time(self):
+        with pytest.raises(ValueError, match="pipeline_chunks"):
+            _config(pipeline_chunks=0)
+        with pytest.raises(ValueError, match="unknown dedup assumption"):
+            _config(dedup_assumption="correlated")
+
+    def test_trainer_builds_dedup_and_pipelined_collective(self):
+        config = _config(
+            topology=self._two_level(),
+            allgather_algorithm="hierarchical",
+            pipeline_chunks=4,
+            dedup_assumption="uniform",
+        )
+        trainer = DistributedTrainer(_model(), _dataset(), "topk", config)
+        assert trainer.collective.pipeline_chunks == 4
+        assert trainer.collective.allgather_dedup.assumption == "uniform"
+
+    def test_dedup_run_prices_cheaper_and_records_achieved_ratio(self):
+        base = dict(
+            seed=5, ratio=0.1, iterations=10,
+            topology=self._two_level(), allgather_algorithm="hierarchical",
+        )
+        plain = DistributedTrainer(
+            _model(seed=7), _dataset(5), "topk", _config(**base)
+        ).run()
+        deduped = DistributedTrainer(
+            _model(seed=7), _dataset(5), "topk",
+            _config(**base, dedup_assumption="uniform"),
+        ).run()
+        # Dedup only reprices the wire: identical training math, lower cost.
+        np.testing.assert_allclose(deduped.metrics.losses, plain.metrics.losses)
+        assert deduped.metrics.total_time < plain.metrics.total_time
+        assert deduped.metrics.mean_dedup_ratio() > 1.0
+        assert plain.metrics.mean_dedup_ratio() == 1.0
+        assert all(r.dedup_ratio > 1.0 for r in deduped.metrics.records)
+
+    def test_knobs_off_match_pr3_run_exactly(self):
+        base = dict(seed=6, topology=self._two_level(), allgather_algorithm="hierarchical")
+        default = DistributedTrainer(_model(), _dataset(), "topk", _config(**base)).run()
+        knobs_off = DistributedTrainer(
+            _model(), _dataset(), "topk",
+            _config(**base, pipeline_chunks=1, dedup_assumption=None),
+        ).run()
+        assert knobs_off.metrics.total_time == default.metrics.total_time

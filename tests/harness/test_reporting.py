@@ -104,3 +104,53 @@ class TestPhaseBreakdown:
 
         cost = CollectiveModel.flat(NetworkModel(), 1).allgather_cost(1e5)
         assert "free" in format_phase_breakdown(cost)
+
+    def test_renders_pipelined_chunks_with_placement_and_makespan(self):
+        from repro.distributed import CollectiveModel, SparseAggregateModel, get_topology
+        from repro.harness import format_phase_breakdown
+
+        cost = CollectiveModel(
+            get_topology("ethernet-4x8"),
+            allgather_algorithm="hierarchical",
+            pipeline_chunks=2,
+            allgather_dedup=SparseAggregateModel("uniform"),
+        ).allgather_cost(2e6, density=0.1)
+        assert cost.is_pipelined
+        text = format_phase_breakdown(cost)
+        assert "pipelined over 2 chunks" in text
+        assert "dedup ratio" in text
+        assert "inter-allgather[c0]" in text and "inter-allgather[c1]" in text
+        assert "@" in text  # placement offsets shown
+        assert "makespan" in text
+        # The makespan headline is the cost's placement-aware total, not the
+        # (larger) sum of every chunked phase.
+        from repro.harness.reporting import _format_value
+
+        assert _format_value(cost.total) in text
+
+    def test_dedup_only_breakdown_reports_achieved_ratio(self):
+        from repro.distributed import CollectiveModel, SparseAggregateModel, get_topology
+        from repro.harness import format_phase_breakdown
+
+        cost = CollectiveModel(
+            get_topology("ethernet-4x8"),
+            allgather_algorithm="hierarchical",
+            allgather_dedup=SparseAggregateModel("uniform"),
+        ).allgather_cost(2e6, density=0.1)
+        assert not cost.is_pipelined and cost.dedup_ratio > 1.0
+        text = format_phase_breakdown(cost)
+        assert "dedup ratio" in text
+        assert "pipelined" not in text
+        assert "total" in text
+
+    def test_serial_breakdown_keeps_total_semantics(self):
+        from repro.distributed import CollectiveModel, get_topology
+        from repro.harness import format_phase_breakdown
+
+        cost = CollectiveModel(
+            get_topology("ethernet-4x8"), allgather_algorithm="hierarchical"
+        ).allgather_cost(1e5)
+        text = format_phase_breakdown(cost)
+        assert "pipelined" not in text
+        assert "makespan" not in text
+        assert "total" in text

@@ -127,3 +127,58 @@ class TestTopologyThreading:
         )
         assert comparison.rows[0].topology == "flat"
         assert comparison.rows[0].allgather_algorithm == "flat-allgather"
+
+
+class TestDedupPipelineThreading:
+    def _two_level(self):
+        from repro.distributed import ClusterTopology
+        from repro.distributed.network import CLUSTER_ETHERNET_10G, NODE_INFINIBAND_100G
+
+        return ClusterTopology(
+            num_nodes=2,
+            devices_per_node=2,
+            inter_node=CLUSTER_ETHERNET_10G,
+            intra_node=NODE_INFINIBAND_100G,
+            name="harness-2x2",
+        )
+
+    def test_run_benchmark_threads_both_knobs(self):
+        result = run_benchmark(
+            "resnet20-cifar10", "topk", 0.1, iterations=4, seed=0,
+            topology=self._two_level(), allgather_algorithm="hierarchical",
+            pipeline_chunks=4, dedup_assumption="uniform",
+        )
+        assert result.config.pipeline_chunks == 4
+        assert result.config.dedup_assumption == "uniform"
+        assert result.metrics.mean_dedup_ratio() > 1.0
+
+    def test_dedup_run_is_cheaper_than_plain_hierarchical(self):
+        kwargs = dict(
+            iterations=4, seed=0, topology=self._two_level(),
+            allgather_algorithm="hierarchical",
+        )
+        plain = run_benchmark("vgg16-cifar10", "topk", 0.1, **kwargs)
+        deduped = run_benchmark(
+            "vgg16-cifar10", "topk", 0.1, dedup_assumption="uniform", **kwargs
+        )
+        assert deduped.metrics.total_time < plain.metrics.total_time
+
+    def test_compare_compressors_reports_dedup_columns(self):
+        comparison = compare_compressors(
+            "resnet20-cifar10", ("topk",), (0.1,), iterations=4, seed=0,
+            topology=self._two_level(), allgather_algorithm="hierarchical",
+            pipeline_chunks=2, dedup_assumption="uniform",
+        )
+        row = comparison.rows[0]
+        assert row.pipeline_chunks == 2
+        assert row.dedup_assumption == "uniform"
+        assert row.dedup_ratio > 1.0
+
+    def test_default_rows_report_knobs_off(self):
+        comparison = compare_compressors(
+            "resnet20-cifar10", ("topk",), (0.01,), num_workers=2, iterations=4, seed=0,
+        )
+        row = comparison.rows[0]
+        assert row.pipeline_chunks == 1
+        assert row.dedup_assumption == "off"
+        assert row.dedup_ratio == 1.0

@@ -5,7 +5,6 @@ earlier in wall-clock time than the dense baseline, and SIDCo's curve is at
 least as far left as Top-k's.
 """
 
-import pytest
 
 from repro.harness import extract_traces, format_series
 

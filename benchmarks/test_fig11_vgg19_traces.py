@@ -5,7 +5,6 @@ accurately while GaussianKSGD collapses and RedSync fluctuates;
 (b) training loss over wall time — SIDCo is never behind Top-k.
 """
 
-import pytest
 
 from repro.harness import extract_traces, format_series
 

@@ -5,7 +5,6 @@ slowest compressor while SIDCo keeps the highest throughput — the device
 asymmetry of Figure 1 carried into end-to-end training.
 """
 
-import pytest
 
 from repro.harness import format_speedup_summary
 from repro.perfmodel import CPU_XEON

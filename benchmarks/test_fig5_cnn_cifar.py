@@ -4,7 +4,6 @@
 (b) estimation quality, (c) VGG16 speed-ups are substantial (60% comm overhead).
 """
 
-import pytest
 
 from repro.harness import format_speedup_summary
 

@@ -14,31 +14,31 @@ from repro.distributed import DistributedTrainer, TrainerConfig
 from repro.harness import format_table, get_benchmark
 
 
-def train(use_error_feedback: bool):
+def train(use_error_feedback: bool, *, iterations: int = 60, num_workers: int = 4):
     config = get_benchmark("vgg16-cifar10")
     dataset = config.build_proxy_dataset(seed=0)
     model = config.build_proxy_model(seed=1)
     trainer_config = TrainerConfig(
-        num_workers=4,
+        num_workers=num_workers,
         batch_size=config.proxy_batch_size,
-        iterations=60,
+        iterations=iterations,
         ratio=0.001,
         lr=config.proxy_lr,
         use_error_feedback=use_error_feedback,
-        warmup_iterations=5,
+        warmup_iterations=min(5, iterations // 2),
         seed=0,
-        compute_seconds=config.compute_seconds(num_workers=4),
+        compute_seconds=config.compute_seconds(num_workers=num_workers),
         dimension_scale=config.dimension_scale(),
     )
     trainer = DistributedTrainer(model, dataset, "sidco-e", trainer_config)
     return trainer.run(evaluate_on=dataset)
 
 
-def main() -> None:
-    print("Training the VGG16-CIFAR10 proxy with SIDCo-E at ratio 0.001 (4 workers)...\n")
+def main(*, iterations: int = 60, num_workers: int = 4) -> None:
+    print(f"Training the VGG16-CIFAR10 proxy with SIDCo-E at ratio 0.001 ({num_workers} workers)...\n")
     rows = []
     for use_ec in (True, False):
-        result = train(use_ec)
+        result = train(use_ec, iterations=iterations, num_workers=num_workers)
         breakdown = result.metrics.component_breakdown()
         rows.append(
             {

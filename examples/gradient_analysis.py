@@ -18,8 +18,7 @@ from repro.harness import format_table, gradient_fit_study
 from repro.stats import sparsification_error_curve
 
 
-def main() -> None:
-    capture_at = (4, 30)
+def main(*, capture_at: tuple[int, ...] = (4, 30), num_workers: int = 4) -> None:
     rows_fit = []
     rows_comp = []
     for use_ec in (False, True):
@@ -28,7 +27,7 @@ def main() -> None:
             use_error_feedback=use_ec,
             capture_iterations=capture_at,
             iterations=max(capture_at) + 5,
-            num_workers=4,
+            num_workers=num_workers,
             seed=0,
         )
         for iteration in sorted(study.snapshots):

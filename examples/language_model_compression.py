@@ -13,16 +13,16 @@ from __future__ import annotations
 from repro.harness import compare_compressors, extract_traces, format_series, format_speedup_summary
 
 
-def main() -> None:
+def main(*, iterations: int = 60, num_workers: int = 4) -> None:
     compressors = ("topk", "dgc", "sidco-e")
     ratio = 0.001
-    print("Training the LSTM-PTB proxy benchmark with 4 workers (this takes ~10 seconds)...\n")
+    print(f"Training the LSTM-PTB proxy benchmark with {num_workers} workers (this takes ~10 seconds)...\n")
     comparison = compare_compressors(
         "lstm-ptb",
         compressors,
         (ratio,),
-        num_workers=4,
-        iterations=60,
+        num_workers=num_workers,
+        iterations=iterations,
         seed=0,
     )
 

@@ -13,10 +13,12 @@ from repro.gradients import MODEL_DIMENSIONS
 from repro.harness import format_table, run_microbenchmark
 
 
-def main() -> None:
-    for model in ("vgg16", "resnet50", "lstm-ptb"):
+def main(
+    *, models: tuple[str, ...] = ("vgg16", "resnet50", "lstm-ptb"), sample_size: int = 300_000
+) -> None:
+    for model in models:
         dimension = MODEL_DIMENSIONS[model]
-        rows = run_microbenchmark(dimension, ratios=(0.1, 0.01, 0.001), sample_size=300_000, seed=0)
+        rows = run_microbenchmark(dimension, ratios=(0.1, 0.01, 0.001), sample_size=sample_size, seed=0)
         print(
             format_table(
                 rows,

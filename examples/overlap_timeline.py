@@ -32,19 +32,19 @@ NUM_WORKERS = 8
 COMM_OVERHEAD = 0.72
 
 
-def main() -> None:
+def main(*, dimension: int = DIMENSION, sample: int = SAMPLE) -> None:
     compute = compute_time_for_overhead(
-        CLUSTER_ETHERNET_10G, NUM_WORKERS, DIMENSION, COMM_OVERHEAD
+        CLUSTER_ETHERNET_10G, NUM_WORKERS, dimension, COMM_OVERHEAD
     )
     timeline = TimelineModel(
         network=CLUSTER_ETHERNET_10G,
         device=GPU_V100,
         compute_seconds=compute,
         num_workers=NUM_WORKERS,
-        model_dimension=SAMPLE,
-        dimension_scale=DIMENSION / SAMPLE,
+        model_dimension=sample,
+        dimension_scale=dimension / sample,
     )
-    gradient = realistic_gradient(SAMPLE, seed=0)
+    gradient = realistic_gradient(sample, seed=0)
     baseline = timeline.baseline_iteration().total
 
     rows = []
@@ -80,7 +80,7 @@ def main() -> None:
                 "speedup_vs_dense",
             ],
             title=(
-                f"one iteration, {DIMENSION:,} params, ratio={RATIO}, "
+                f"one iteration, {dimension:,} params, ratio={RATIO}, "
                 f"{NUM_WORKERS} workers on {CLUSTER_ETHERNET_10G.name} "
                 f"(dense baseline {baseline:.3f}s)"
             ),

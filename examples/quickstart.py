@@ -13,12 +13,11 @@ from repro.harness import format_table
 from repro.perfmodel import CPU_XEON, GPU_V100, estimate_latency
 
 
-def main() -> None:
+def main(*, dimension: int = 1_000_000, settle_steps: int = 12) -> None:
     print("Available compressors:", ", ".join(available_compressors()))
 
     # A synthetic gradient with the statistics of a real DNN gradient:
     # a dominant near-zero bulk plus a heavy informative tail (Property 1/2).
-    dimension = 1_000_000
     gradient = realistic_gradient(dimension, seed=0)
     target_ratio = 0.001
     print(f"\nCompressing a {dimension:,}-element gradient to ratio {target_ratio} (k = {int(target_ratio * dimension)})\n")
@@ -28,7 +27,7 @@ def main() -> None:
         compressor = create_compressor(name)
         # Adaptive compressors (SIDCo) tune their stage count over a few calls,
         # exactly as they would over training iterations.
-        for step in range(12):
+        for step in range(settle_steps):
             result = compressor.compress(realistic_gradient(dimension, seed=step + 1), target_ratio)
         result = compressor.compress(gradient, target_ratio)
         rows.append(
@@ -45,7 +44,7 @@ def main() -> None:
 
     # Reconstruction error of the SIDCo selection vs exact Top-k.
     sidco = create_compressor("sidco-e")
-    for step in range(12):
+    for step in range(settle_steps):
         sidco.compress(realistic_gradient(dimension, seed=step + 50), target_ratio)
     sidco_result = sidco.compress(gradient, target_ratio)
     topk_result = create_compressor("topk").compress(gradient, target_ratio)

@@ -19,6 +19,18 @@ resource lanes:
   the ring, so bucket *i*'s all-gather starts only when bucket *i-1*'s has
   drained.
 
+With ``cross_bucket_pipeline=True`` the single network lane splits into
+**per-link lanes**: every fabric a collective phase names (the intra-node and
+inter-node links of a two-level topology) is an independent resource, and a
+bucket's phase pattern is slid, as one rigid template, to the earliest time it
+fits on *all* of its links.  Bucket *i+1*'s intra-node gather then runs while
+bucket *i*'s inter-node exchange still occupies the other fabric — the
+cross-bucket pipelining the serial lane forbids by treating each collective as
+one opaque occupancy.  Rigid sliding preserves every bucket's internal phase
+placement, so per-bucket communication time is conserved and the cross-bucket
+schedule is never slower than the serial-lane one (each bucket can always fall
+back to starting where the serial lane would have started it).
+
 What may start when is governed by the overlap policy:
 
 ``"none"``
@@ -41,6 +53,8 @@ overlap efficiency, not just a single scalar.
 
 from __future__ import annotations
 
+import math
+from bisect import bisect_right, insort
 from dataclasses import dataclass
 
 #: Recognised overlap policies, weakest to strongest.
@@ -52,6 +66,20 @@ def validate_overlap(policy: str) -> str:
     if policy not in OVERLAP_POLICIES:
         raise ValueError(f"unknown overlap policy {policy!r}; known: {list(OVERLAP_POLICIES)}")
     return policy
+
+
+def validate_cross_bucket(cross_bucket_pipeline: bool) -> bool:
+    """Return ``cross_bucket_pipeline`` if it is a plain bool, else raise.
+
+    The knob gates a structural change to the network lanes, so a truthy
+    non-bool (``1``, ``"false"``, ...) is more likely a mis-threaded config
+    value than an intentional choice — fail fast like the other knobs.
+    """
+    if not isinstance(cross_bucket_pipeline, bool):
+        raise ValueError(
+            f"cross_bucket_pipeline must be a bool, got {cross_bucket_pipeline!r}"
+        )
+    return cross_bucket_pipeline
 
 
 @dataclass(frozen=True)
@@ -177,6 +205,9 @@ class IterationSchedule:
     iteration_seconds: float
     #: The ``overlap="none"`` closed-form sum for the same workload.
     serialized_seconds: float
+    #: True when buckets were scheduled on per-link network lanes (cross-bucket
+    #: pipelining); False for the serial whole-occupancy network lane.
+    cross_bucket: bool = False
 
     @property
     def total_compress_seconds(self) -> float:
@@ -193,6 +224,134 @@ class IterationSchedule:
             return 0.0
         return 1.0 - self.iteration_seconds / self.serialized_seconds
 
+    def link_utilization(self) -> dict[str, dict[str, float]]:
+        """Per-link busy time over the network's active window, by fabric.
+
+        Phases are attributed to the link they name (collectives priced before
+        the topology layer, and buckets without a phase breakdown, occupy the
+        anonymous ``""`` lane).  ``utilization`` is the link's busy time over
+        the window from the first to the last communication event — the
+        quantity cross-bucket pipelining raises by letting one fabric work
+        while another bucket occupies the other.
+        """
+        busy: dict[str, float] = {}
+        first = math.inf
+        last = 0.0
+        for event in self.events:
+            if event.comm_end <= event.comm_start and not event.phases:
+                continue
+            first = min(first, event.comm_start)
+            last = max(last, event.comm_end)
+            if event.phases:
+                for phase in event.phases:
+                    busy[phase.link] = busy.get(phase.link, 0.0) + (phase.end - phase.start)
+            else:
+                busy[""] = busy.get("", 0.0) + (event.comm_end - event.comm_start)
+        window = max(last - first, 0.0)
+        return {
+            link: {
+                "busy_seconds": seconds,
+                "window_seconds": window,
+                "utilization": seconds / window if window > 0.0 else 0.0,
+            }
+            for link, seconds in sorted(busy.items())
+        }
+
+
+def _comm_layout(task: BucketTask) -> list[tuple[float, float, str]]:
+    """The task's rigid network template: ``(offset, seconds, link)`` spans.
+
+    Placed phases keep their explicit offsets and links; serial phases tile
+    back-to-back; tasks without a phase breakdown occupy the anonymous ``""``
+    lane for their whole duration.  The ``""`` lane conflicts with *every*
+    named lane (see :func:`_conflicting_lanes`), so buckets priced before the
+    topology layer serialise against each other and against placed-phase
+    buckets alike — one physical network, nothing to overlap.
+    """
+    if task.has_placed_phases:
+        return [(start, seconds, link) for _, seconds, start, link in task.comm_phases]
+    if task.comm_phases:
+        layout = []
+        cursor = 0.0
+        for name, seconds in task.comm_phases:
+            layout.append((cursor, seconds, ""))
+            cursor += seconds
+        return layout
+    return [(0.0, task.comm_seconds, "")]
+
+
+def _first_conflict_end(
+    spans: list[tuple[float, float]], start: float, end: float
+) -> float | None:
+    """End of the earliest committed span overlapping ``[start, end)``, if any.
+
+    ``spans`` is sorted and pairwise non-overlapping (the scheduler only ever
+    commits conflict-free spans), so at most two candidates need checking: the
+    last span starting at or before ``start`` (it may straddle ``start``) and
+    the first span starting after it (it may begin before ``end``).
+    """
+    tolerance = 1e-12 * max(1.0, abs(end))
+    i = bisect_right(spans, (start, math.inf))
+    if i > 0 and spans[i - 1][1] > start + tolerance:
+        return spans[i - 1][1]
+    if i < len(spans) and spans[i][0] < end - tolerance:
+        return spans[i][1]
+    return None
+
+
+def _conflicting_lanes(
+    link: str, link_spans: dict[str, list[tuple[float, float]]]
+) -> list[list[tuple[float, float]]]:
+    """The committed span lists a phase on ``link`` must not overlap.
+
+    The anonymous ``""`` lane stands for *the* network of a collective priced
+    before the topology layer — physically the same wires as every named
+    fabric — so it conflicts with all lanes and all lanes conflict with it.
+    Without this, a phaseless bucket would ride "for free" alongside another
+    bucket's placed phases, double-counting the hardware.
+    """
+    if link == "":
+        return list(link_spans.values())
+    lanes = [link_spans[link]] if link in link_spans else []
+    if "" in link_spans:
+        lanes.append(link_spans[""])
+    return lanes
+
+
+def _earliest_template_fit(
+    layout: list[tuple[float, float, str]],
+    gate: float,
+    link_spans: dict[str, list[tuple[float, float]]],
+) -> float:
+    """Earliest ``t >= gate`` at which the rigid template fits on every link.
+
+    A candidate start is infeasible when any template span overlaps a span
+    already committed to a conflicting lane; the only way to clear a conflict
+    while moving forward in time is to push the template until the conflicting
+    phase starts at the committed span's end, so the bump-and-recheck loop
+    finds the *minimal* feasible start.  Because the serial-lane start (after
+    every earlier bucket has fully drained) is always feasible, this start is
+    never later than the serial lane's — cross-bucket pipelining cannot lose.
+    """
+    t = gate
+    while True:
+        bump = None
+        for offset, seconds, link in layout:
+            if seconds <= 0.0:
+                continue
+            for spans in _conflicting_lanes(link, link_spans):
+                conflict_end = _first_conflict_end(
+                    spans, t + offset, t + offset + seconds
+                )
+                if conflict_end is not None:
+                    bump = conflict_end - offset
+                    break
+            if bump is not None:
+                break
+        if bump is None:
+            return t
+        t = bump
+
 
 def simulate_iteration(
     tasks: list[BucketTask],
@@ -200,16 +359,25 @@ def simulate_iteration(
     compute_seconds: float,
     overlap: str = "none",
     update_seconds: float = 0.0,
+    cross_bucket_pipeline: bool = False,
 ) -> IterationSchedule:
     """Schedule per-bucket compress/all-gather jobs and return the event trace.
 
     Buckets are processed in gradient-ready order (ties broken by index), which
-    is how DDP-style stacks drain their fusion buffers.  ``ready_seconds``
-    beyond ``compute_seconds`` is allowed (a caller may model delayed
-    readiness), but the usual construction derives ready times as fractions of
-    the backward pass.
+    is how DDP-style stacks drain their fusion buffers — and, for layer-aware
+    buckets, is exactly reverse-layer priority order.  ``ready_seconds`` beyond
+    ``compute_seconds`` is allowed (a caller may model delayed readiness), but
+    the usual construction derives ready times as fractions of the backward
+    pass.
+
+    ``cross_bucket_pipeline=False`` serialises buckets on one network lane as
+    whole occupancies (the pre-cross-bucket behaviour, reproduced bit-for-bit);
+    ``True`` schedules each bucket's per-link phase template on independent
+    per-link lanes, so consecutive buckets overlap wherever they occupy
+    different fabrics.
     """
     validate_overlap(overlap)
+    validate_cross_bucket(cross_bucket_pipeline)
     if compute_seconds < 0.0 or update_seconds < 0.0:
         raise ValueError("compute_seconds and update_seconds must be non-negative")
 
@@ -230,14 +398,24 @@ def simulate_iteration(
         compress_spans[task.index] = (start, end)
         compress_free = end
 
-    # Network lane: one all-gather per bucket, serialised on the ring.
+    # Network: one all-gather per bucket.  The serial lane holds each bucket as
+    # one opaque occupancy; the cross-bucket pipeline slides each bucket's
+    # rigid phase template to the earliest time it fits on every link it uses.
     all_compressed = compress_free
     comm_free = 0.0
+    link_spans: dict[str, list[tuple[float, float]]] = {}
     events: list[BucketEvent] = []
     for task in order:
         compress_start, compress_end = compress_spans[task.index]
         gate = all_compressed if overlap == "none" else compress_end
-        start = max(gate, comm_free)
+        if cross_bucket_pipeline:
+            layout = _comm_layout(task)
+            start = _earliest_template_fit(layout, gate, link_spans)
+            for offset, seconds, link in layout:
+                if seconds > 0.0:
+                    insort(link_spans.setdefault(link, []), (start + offset, start + offset + seconds))
+        else:
+            start = max(gate, comm_free)
         end = start + task.comm_seconds
         comm_free = end
         phases: list[PhaseEvent] = []
@@ -285,6 +463,7 @@ def simulate_iteration(
         events=tuple(events),
         iteration_seconds=iteration,
         serialized_seconds=serialized,
+        cross_bucket=cross_bucket_pipeline,
     )
 
 

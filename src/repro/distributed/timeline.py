@@ -34,6 +34,7 @@ from .schedule import (
     IterationSchedule,
     ready_times_from_fractions,
     simulate_iteration,
+    validate_cross_bucket,
     validate_overlap,
 )
 from .topology import CollectiveCost, CollectiveModel
@@ -113,6 +114,9 @@ class IterationTiming:
     #: collectives (concatenated / deduplicated node-aggregate size); 1.0
     #: when no dedup model is configured or nothing could be deduplicated.
     dedup_ratio: float = 1.0
+    #: True when the attached schedule placed buckets on per-link network
+    #: lanes (cross-bucket pipelining) instead of one serial lane.
+    cross_bucket_pipeline: bool = False
 
     @property
     def serialized(self) -> float:
@@ -165,6 +169,12 @@ class TimelineModel:
     #: (e.g. :func:`compute_time_for_overhead`) and its links need not match
     #: the topology's.
     collective: CollectiveModel | None = None
+    #: Schedule buckets on per-link network lanes so bucket *i+1*'s intra-node
+    #: phase overlaps bucket *i*'s inter-node phase (see
+    #: :func:`~repro.distributed.schedule.simulate_iteration`).  ``False``
+    #: keeps the serial whole-occupancy network lane (the PR-4 scheduler,
+    #: reproduced bit-for-bit).
+    cross_bucket_pipeline: bool = False
 
     def __post_init__(self) -> None:
         if self.compute_seconds < 0.0 or self.update_seconds < 0.0:
@@ -176,6 +186,7 @@ class TimelineModel:
         if self.dimension_scale <= 0.0:
             raise ValueError("dimension_scale must be positive")
         validate_overlap(self.overlap)
+        validate_cross_bucket(self.cross_bucket_pipeline)
         if self.collective is None:
             object.__setattr__(
                 self, "collective", CollectiveModel.flat(self.network, self.num_workers)
@@ -202,7 +213,11 @@ class TimelineModel:
         )
 
     def compressed_iteration(
-        self, worker_results: list[CompressionResult], *, overlap: str | None = None
+        self,
+        worker_results: list[CompressionResult],
+        *,
+        overlap: str | None = None,
+        cross_bucket_pipeline: bool | None = None,
     ) -> IterationTiming:
         """Iteration timing for a set of per-worker compression results.
 
@@ -214,10 +229,17 @@ class TimelineModel:
         compute/network lanes by the event-driven schedule simulator and
         ``total`` becomes the critical-path time; ``overlap="none"`` keeps the
         exact closed-form sum of the pre-schedule timeline.
+
+        ``cross_bucket_pipeline`` overrides the model's default for this call:
+        ``True`` schedules the buckets' per-link collective phases on
+        independent fabric lanes so consecutive buckets overlap across links.
         """
         if not worker_results:
             raise ValueError("need at least one worker result")
         policy = validate_overlap(self.overlap if overlap is None else overlap)
+        cross_bucket = (
+            self.cross_bucket_pipeline if cross_bucket_pipeline is None else cross_bucket_pipeline
+        )
         compression = max(self.device.trace_cost(self._scaled_ops(r)) for r in worker_results)
         bucket_costs = self.bucket_communication_costs(worker_results)
         if bucket_costs is not None:
@@ -234,7 +256,7 @@ class TimelineModel:
         schedule = None
         if policy != "none" and bucket_costs is not None:
             schedule = self._bucket_schedule(
-                worker_results[0].metadata, bucket_costs, compression, policy
+                worker_results[0].metadata, bucket_costs, compression, policy, cross_bucket
             )
         return IterationTiming(
             compute=self.compute_seconds,
@@ -244,6 +266,7 @@ class TimelineModel:
             overlap=policy,
             schedule=schedule,
             dedup_ratio=dedup_ratio,
+            cross_bucket_pipeline=schedule.cross_bucket if schedule is not None else False,
         )
 
     def _bucket_schedule(
@@ -252,6 +275,7 @@ class TimelineModel:
         bucket_costs: list[CollectiveCost],
         compression_seconds: float,
         policy: str,
+        cross_bucket_pipeline: bool = False,
     ) -> IterationSchedule:
         """Place per-bucket compress/all-gather jobs on the event timeline."""
         num_buckets = len(bucket_costs)
@@ -286,6 +310,7 @@ class TimelineModel:
             compute_seconds=self.compute_seconds,
             overlap=policy,
             update_seconds=self.update_seconds,
+            cross_bucket_pipeline=cross_bucket_pipeline,
         )
 
     def bucket_communication_times(

@@ -34,11 +34,10 @@ from ..perfmodel.costs import DeviceProfile
 from ..perfmodel.device import GPU_V100
 from ..pipeline import CompressionPipeline
 from ..tensor.flatten import FlatSpec, unflatten
-from ..tensor.sparse import SparseGradient
 from .collectives import allgather_sparse, allreduce_dense
 from .metrics import IterationRecord, TrainingMetrics
 from .network import CLUSTER_ETHERNET_10G, NetworkModel
-from .schedule import validate_overlap
+from .schedule import validate_cross_bucket, validate_overlap
 from .timeline import TimelineModel
 from .topology import (
     ClusterTopology,
@@ -105,6 +104,11 @@ class TrainerConfig:
     #: :class:`~repro.distributed.topology.SparseAggregateModel`), or ``None``
     #: to ship raw concatenated node aggregates (the PR-3 behaviour).
     dedup_assumption: str | None = None
+    #: Schedule buckets on per-link network lanes so bucket *i+1*'s intra-node
+    #: collective phase overlaps bucket *i*'s inter-node phase.  ``False``
+    #: keeps the serial whole-occupancy network lane (the PR-4 scheduler).
+    #: Only bucketed runs on a multi-link topology have anything to overlap.
+    cross_bucket_pipeline: bool = False
 
     def __post_init__(self) -> None:
         if self.num_workers < 1:
@@ -120,6 +124,7 @@ class TrainerConfig:
         if self.bucket_bytes is not None and self.bucket_bytes < 1:
             raise ValueError("bucket_bytes must be positive when set")
         validate_overlap(self.overlap)
+        validate_cross_bucket(self.cross_bucket_pipeline)
         get_collective_algorithm(self.allreduce_algorithm, op="allreduce")
         get_collective_algorithm(self.allgather_algorithm, op="allgather")
         validate_pipeline_chunks(self.pipeline_chunks)
@@ -237,6 +242,7 @@ class DistributedTrainer:
             dimension_scale=config.dimension_scale,
             overlap=config.overlap,
             collective=self.collective,
+            cross_bucket_pipeline=config.cross_bucket_pipeline,
         )
         self._warmup_compressor = NoCompression()
 

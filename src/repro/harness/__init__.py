@@ -27,6 +27,7 @@ from .microbench import (
     speedup_matrix,
 )
 from .reporting import (
+    format_link_utilization,
     format_overlap_summary,
     format_phase_breakdown,
     format_series,
@@ -56,6 +57,7 @@ __all__ = [
     "compare_compressors",
     "compressibility_study",
     "extract_traces",
+    "format_link_utilization",
     "format_overlap_summary",
     "format_phase_breakdown",
     "format_series",

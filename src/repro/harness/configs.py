@@ -79,6 +79,11 @@ class BenchmarkConfig:
     #: ``"identical"``, ``"disjoint"``) or ``None`` to ship raw concatenated
     #: node aggregates.
     dedup_assumption: str | None = None
+    #: Schedule buckets on per-link network lanes (cross-bucket pipelining):
+    #: bucket *i+1*'s intra-node collective phase overlaps bucket *i*'s
+    #: inter-node phase.  ``False`` keeps the serial whole-occupancy network
+    #: lane (the PR-4 scheduler, reproduced bit-for-bit).
+    cross_bucket_pipeline: bool = False
 
     def build_proxy_model(self, *, seed: int = 1):
         """Instantiate a freshly initialised proxy model."""

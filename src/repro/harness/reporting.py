@@ -140,6 +140,33 @@ def format_phase_breakdown(cost) -> str:
     return "\n".join(lines)
 
 
+def format_link_utilization(schedule) -> str:
+    """Render a schedule's per-link network utilisation as an aligned table.
+
+    Accepts an :class:`~repro.distributed.IterationSchedule` (or any object
+    with a ``link_utilization()`` method and ``policy``/``cross_bucket``
+    attributes) and shows, for every fabric the collective phases named, how
+    busy the link was over the window from the first to the last communication
+    event.  This is the headline view of cross-bucket pipelining: the serial
+    whole-occupancy lane leaves each fabric idle while the other works, the
+    per-link lanes keep both busy.
+    """
+    lanes = "per-link lanes" if getattr(schedule, "cross_bucket", False) else "serial lane"
+    lines = [f"network-link utilisation (overlap={schedule.policy}, {lanes}):"]
+    utilization = schedule.link_utilization()
+    if not utilization:
+        lines.append("  (no communication events)")
+        return "\n".join(lines)
+    for link, stats in utilization.items():
+        label = link or "(unattributed)"
+        lines.append(
+            f"  {label:<18} busy={_format_value(stats['busy_seconds'])}s"
+            f"  window={_format_value(stats['window_seconds'])}s"
+            f"  utilisation={_format_value(100.0 * stats['utilization'])}%"
+        )
+    return "\n".join(lines)
+
+
 def format_speedup_summary(rows, *, group_by: str = "ratio") -> str:
     """Summarise benchmark-comparison rows grouped by ratio (the paper's bar groups)."""
     dict_rows = [_coerce_row(r) for r in rows]

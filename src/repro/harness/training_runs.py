@@ -52,6 +52,9 @@ class BenchmarkRunRow:
     pipeline_chunks: int = 1
     dedup_assumption: str = "off"
     dedup_ratio: float = 1.0
+    #: Whether the run's schedule placed buckets on per-link network lanes
+    #: (cross-bucket pipelining) instead of the serial PR-4 network lane.
+    cross_bucket_pipeline: bool = False
 
 
 @dataclass
@@ -117,6 +120,7 @@ def _trainer_config(
     allgather_algorithm: str | None = None,
     pipeline_chunks: int | None = None,
     dedup_assumption: str | None = None,
+    cross_bucket_pipeline: bool | None = None,
 ) -> TrainerConfig:
     return TrainerConfig(
         num_workers=num_workers,
@@ -138,6 +142,9 @@ def _trainer_config(
         allgather_algorithm=allgather_algorithm or config.allgather_algorithm,
         pipeline_chunks=config.pipeline_chunks if pipeline_chunks is None else pipeline_chunks,
         dedup_assumption=config.dedup_assumption if dedup_assumption is None else dedup_assumption,
+        cross_bucket_pipeline=config.cross_bucket_pipeline
+        if cross_bucket_pipeline is None
+        else cross_bucket_pipeline,
     )
 
 
@@ -159,6 +166,7 @@ def run_benchmark(
     allgather_algorithm: str | None = None,
     pipeline_chunks: int | None = None,
     dedup_assumption: str | None = None,
+    cross_bucket_pipeline: bool | None = None,
 ) -> TrainingRunResult:
     """Train one Table 1 proxy benchmark with one compressor and evaluate it.
 
@@ -176,7 +184,10 @@ def run_benchmark(
     phases chunk-by-chunk, and ``dedup_assumption`` (``"uniform"``,
     ``"identical"``, ``"disjoint"``) deduplicates overlapping sparse indices
     in the per-node reduce before they cross the inter-node link (defaults:
-    the benchmark config's knobs).
+    the benchmark config's knobs).  ``cross_bucket_pipeline`` schedules the
+    buckets' per-link collective phases on independent fabric lanes so
+    consecutive buckets overlap across links (default: the benchmark config's
+    knob; ``False`` is the serial PR-4 network lane).
     """
     config = benchmark if isinstance(benchmark, BenchmarkConfig) else get_benchmark(benchmark)
     resolved_topology, num_workers = _resolve_topology(config, topology, num_workers)
@@ -187,6 +198,7 @@ def run_benchmark(
         bucket_bytes=bucket_bytes, overlap=overlap, topology=resolved_topology,
         allreduce_algorithm=allreduce_algorithm, allgather_algorithm=allgather_algorithm,
         pipeline_chunks=pipeline_chunks, dedup_assumption=dedup_assumption,
+        cross_bucket_pipeline=cross_bucket_pipeline,
     )
     trainer = DistributedTrainer(
         model,
@@ -217,6 +229,7 @@ def compare_compressors(
     allgather_algorithm: str | None = None,
     pipeline_chunks: int | None = None,
     dedup_assumption: str | None = None,
+    cross_bucket_pipeline: bool | None = None,
 ) -> BenchmarkComparison:
     """Run one benchmark for every (compressor, ratio) pair plus the dense baseline."""
     config = benchmark if isinstance(benchmark, BenchmarkConfig) else get_benchmark(benchmark)
@@ -225,7 +238,7 @@ def compare_compressors(
         network=network, device=device, bucket_bytes=bucket_bytes, overlap=overlap,
         topology=topology, allreduce_algorithm=allreduce_algorithm,
         allgather_algorithm=allgather_algorithm, pipeline_chunks=pipeline_chunks,
-        dedup_assumption=dedup_assumption,
+        dedup_assumption=dedup_assumption, cross_bucket_pipeline=cross_bucket_pipeline,
     )
     baseline_quality = _quality_from_evaluation(config, baseline.final_evaluation)
     baseline_rate = baseline_quality / max(baseline.metrics.total_time, 1e-12)
@@ -239,7 +252,7 @@ def compare_compressors(
                 network=network, device=device, bucket_bytes=bucket_bytes, overlap=overlap,
                 topology=topology, allreduce_algorithm=allreduce_algorithm,
                 allgather_algorithm=allgather_algorithm, pipeline_chunks=pipeline_chunks,
-                dedup_assumption=dedup_assumption,
+                dedup_assumption=dedup_assumption, cross_bucket_pipeline=cross_bucket_pipeline,
             )
             quality = _quality_from_evaluation(config, result.final_evaluation)
             rate = quality / max(result.metrics.total_time, 1e-12)
@@ -271,6 +284,9 @@ def compare_compressors(
                     if result.config
                     else "off",
                     dedup_ratio=result.metrics.mean_dedup_ratio(),
+                    cross_bucket_pipeline=result.config.cross_bucket_pipeline
+                    if result.config
+                    else False,
                 )
             )
             comparison.runs[(name, ratio)] = result

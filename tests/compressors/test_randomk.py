@@ -1,7 +1,6 @@
 """Tests for the Random-k baseline."""
 
 import numpy as np
-import pytest
 
 from repro.compressors import RandomK
 

@@ -1,6 +1,5 @@
 """Tests for the adaptive hard-threshold baseline."""
 
-import numpy as np
 import pytest
 
 from repro.compressors import AdaptiveHardThreshold

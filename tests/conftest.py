@@ -55,3 +55,37 @@ def image_dataset():
 @pytest.fixture
 def lm_dataset():
     return make_language_modeling(num_sequences=48, seq_len=8, vocab_size=24, seed=3)
+
+
+@pytest.fixture
+def two_fabric_schedule():
+    """Factory for the canonical two-fabric workload, scheduled either way.
+
+    Three hierarchical-style buckets (gather/broadcast on ``intra``, exchange
+    on ``inter``) with reverse-order readiness; ``build(cross)`` runs them
+    under ``overlap="comm"`` on the serial network lane (``False``) or the
+    per-link lanes (``True``).  Shared by the schedule- and reporting-level
+    link-utilisation tests.
+    """
+    from repro.distributed import BucketTask, simulate_iteration
+
+    def build(cross: bool):
+        tasks = [
+            BucketTask(
+                index=i,
+                ready_seconds=0.3 * (3 - i) / 3,
+                compress_seconds=0.01,
+                comm_seconds=0.68,
+                comm_phases=(
+                    ("gather", 0.1, 0.0, "intra"),
+                    ("exchange", 0.5, 0.1, "inter"),
+                    ("broadcast", 0.08, 0.6, "intra"),
+                ),
+            )
+            for i in range(3)
+        ]
+        return simulate_iteration(
+            tasks, compute_seconds=0.3, overlap="comm", cross_bucket_pipeline=cross
+        )
+
+    return build

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.data import BatchIterator, make_blobs_classification, make_language_modeling, shard_dataset
+from repro.data import BatchIterator, make_blobs_classification, shard_dataset
 
 
 class TestSharding:

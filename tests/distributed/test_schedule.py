@@ -439,3 +439,363 @@ class TestCriticalPathBounds:
         # Compression jobs serialise on the compression stream.
         spans = sorted((e.compress_start, e.compress_end) for e in schedule.events)
         assert all(a_end <= b_start + 1e-9 for (_, a_end), (b_start, _) in zip(spans, spans[1:]))
+
+
+class TestCrossBucketPipeline:
+    """Per-link network lanes: buckets overlap wherever they use different fabrics."""
+
+    #: Serial hierarchical-style template: gather (intra "a"), exchange
+    #: (inter "b"), broadcast (intra "a") — placed back-to-back.
+    def _task(self, index=0, ready=0.0, compress=0.02, gather=0.1, exchange=0.5, broadcast=0.08):
+        total = gather + exchange + broadcast
+        return BucketTask(
+            index=index,
+            ready_seconds=ready,
+            compress_seconds=compress,
+            comm_seconds=total,
+            comm_phases=(
+                ("gather", gather, 0.0, "a"),
+                ("exchange", exchange, gather, "b"),
+                ("broadcast", broadcast, gather + exchange, "a"),
+            ),
+        )
+
+    def _tasks(self, n=3, compute=0.3):
+        return [
+            self._task(index=i, ready=compute * (n - i) / n) for i in range(n)
+        ]
+
+    def test_flag_off_matches_default_bit_for_bit(self):
+        tasks = self._tasks()
+        base = simulate_iteration(tasks, compute_seconds=0.3, overlap="comm")
+        off = simulate_iteration(
+            tasks, compute_seconds=0.3, overlap="comm", cross_bucket_pipeline=False
+        )
+        assert off == base
+        assert not off.cross_bucket
+
+    def test_cross_bucket_overlaps_intra_under_inter(self):
+        tasks = self._tasks()
+        serial = simulate_iteration(tasks, compute_seconds=0.3, overlap="comm")
+        cross = simulate_iteration(
+            tasks, compute_seconds=0.3, overlap="comm", cross_bucket_pipeline=True
+        )
+        assert cross.cross_bucket
+        assert cross.iteration_seconds < serial.iteration_seconds
+        # Steady state: the inter lane stays contiguous, so each later bucket
+        # saves one gather + one broadcast of serial-lane time.
+        events = sorted(cross.events, key=lambda e: e.comm_start)
+        for before, after in zip(events, events[1:]):
+            assert after.comm_start < before.comm_end  # whole occupancies overlap
+        # The bucket's internal placement rides rigidly at its new offset.
+        for event in cross.events:
+            assert event.phases[0].start == pytest.approx(event.comm_start)
+            assert event.phases[-1].end == pytest.approx(event.comm_end)
+
+    def test_single_link_tasks_degenerate_to_serial_lane(self):
+        # Phases all on one fabric (or no phase breakdown at all): nothing to
+        # overlap, the per-link lanes reproduce the serial lane exactly.
+        single = [
+            BucketTask(
+                index=i,
+                ready_seconds=0.1 * (3 - i),
+                compress_seconds=0.01,
+                comm_seconds=0.2,
+                comm_phases=(("ring", 0.2, 0.0, "eth"),),
+            )
+            for i in range(3)
+        ]
+        phaseless = [
+            BucketTask(index=i, ready_seconds=0.1 * (3 - i), compress_seconds=0.01, comm_seconds=0.2)
+            for i in range(3)
+        ]
+        for tasks in (single, phaseless):
+            for policy in OVERLAP_POLICIES:
+                serial = simulate_iteration(tasks, compute_seconds=0.3, overlap=policy)
+                cross = simulate_iteration(
+                    tasks, compute_seconds=0.3, overlap=policy, cross_bucket_pipeline=True
+                )
+                assert cross.iteration_seconds == serial.iteration_seconds
+                assert [(e.comm_start, e.comm_end) for e in cross.events] == [
+                    (e.comm_start, e.comm_end) for e in serial.events
+                ]
+
+    def test_non_bool_flag_rejected(self):
+        with pytest.raises(ValueError, match="cross_bucket_pipeline"):
+            simulate_iteration([], compute_seconds=0.1, cross_bucket_pipeline=1)
+        from repro.distributed import validate_cross_bucket
+
+        assert validate_cross_bucket(True) is True
+        with pytest.raises(ValueError, match="bool"):
+            validate_cross_bucket("false")
+
+    def test_anonymous_lane_conflicts_with_named_fabrics(self):
+        # A bucket without a phase breakdown occupies "the network" — the
+        # same physical wires as any named fabric — so it must serialise
+        # against placed-phase buckets instead of riding for free beside them.
+        placed = self._task(index=0, ready=0.0)
+        phaseless = BucketTask(
+            index=1, ready_seconds=0.0, compress_seconds=0.0, comm_seconds=0.3
+        )
+        for tasks in ([placed, phaseless], [phaseless, placed]):
+            cross = simulate_iteration(
+                tasks, compute_seconds=0.0, overlap="comm", cross_bucket_pipeline=True
+            )
+            serial = simulate_iteration(tasks, compute_seconds=0.0, overlap="comm")
+            assert cross.iteration_seconds == pytest.approx(serial.iteration_seconds)
+            spans = sorted((e.comm_start, e.comm_end) for e in cross.events)
+            assert spans[0][1] <= spans[1][0] + 1e-12
+
+    def test_empty_tasks_cross_bucket(self):
+        schedule = simulate_iteration(
+            [], compute_seconds=0.5, overlap="comm", update_seconds=0.1,
+            cross_bucket_pipeline=True,
+        )
+        assert schedule.iteration_seconds == pytest.approx(0.6)
+        assert schedule.link_utilization() == {}
+
+
+@st.composite
+def _linked_workloads(draw):
+    """Buckets whose collectives chain randomly-linked phases back-to-back."""
+    compute = draw(st.floats(min_value=0.0, max_value=1.0))
+    n = draw(st.integers(min_value=1, max_value=6))
+    tasks = []
+    for i in range(n):
+        num_phases = draw(st.integers(min_value=1, max_value=4))
+        durations = draw(
+            st.lists(
+                st.floats(min_value=0.0, max_value=0.5),
+                min_size=num_phases,
+                max_size=num_phases,
+            )
+        )
+        links = draw(
+            st.lists(
+                # "" is the anonymous pre-topology lane: it stands for the
+                # same physical network as every named fabric.
+                st.sampled_from(["intra", "inter", "bus", ""]),
+                min_size=num_phases,
+                max_size=num_phases,
+            )
+        )
+        phases = []
+        cursor = 0.0
+        for j, (seconds, link) in enumerate(zip(durations, links)):
+            phases.append((f"phase-{j}", seconds, cursor, link))
+            cursor += seconds
+        tasks.append(
+            BucketTask(
+                index=i,
+                ready_seconds=compute * (n - i) / n,
+                compress_seconds=draw(st.floats(min_value=0.0, max_value=0.2)),
+                comm_seconds=cursor,
+                comm_phases=tuple(phases),
+            )
+        )
+    update = draw(st.floats(min_value=0.0, max_value=0.1))
+    return tasks, compute, update
+
+
+class TestCrossBucketInvariants:
+    @settings(max_examples=150, deadline=None)
+    @given(workload=_linked_workloads(), policy=st.sampled_from(OVERLAP_POLICIES))
+    def test_per_link_exclusivity_across_buckets(self, workload, policy):
+        tasks, compute, update = workload
+        schedule = simulate_iteration(
+            tasks, compute_seconds=compute, overlap=policy, update_seconds=update,
+            cross_bucket_pipeline=True,
+        )
+        by_link: dict[str, list[tuple[float, float]]] = {}
+        for event in schedule.events:
+            for phase in event.phases:
+                if phase.end > phase.start:
+                    by_link.setdefault(phase.link, []).append((phase.start, phase.end))
+        anonymous = by_link.get("", [])
+        for link, spans in by_link.items():
+            # The anonymous "" lane is the same physical network as every
+            # named fabric, so its spans join every lane's exclusivity check.
+            spans = sorted(spans + (anonymous if link != "" else []))
+            for (_, a_end), (b_start, _) in zip(spans, spans[1:]):
+                assert b_start >= a_end - 1e-9 * max(1.0, a_end)
+
+    @settings(max_examples=150, deadline=None)
+    @given(workload=_linked_workloads(), policy=st.sampled_from(OVERLAP_POLICIES))
+    def test_pipelined_never_slower_than_serial_lane(self, workload, policy):
+        tasks, compute, update = workload
+        serial = simulate_iteration(
+            tasks, compute_seconds=compute, overlap=policy, update_seconds=update
+        )
+        cross = simulate_iteration(
+            tasks, compute_seconds=compute, overlap=policy, update_seconds=update,
+            cross_bucket_pipeline=True,
+        )
+        assert cross.iteration_seconds <= serial.iteration_seconds + 1e-9
+        # Every bucket starts no later than on the serial lane.
+        serial_starts = {e.index: e.comm_start for e in serial.events}
+        for event in cross.events:
+            assert event.comm_start <= serial_starts[event.index] + 1e-9
+
+    @settings(max_examples=150, deadline=None)
+    @given(workload=_linked_workloads(), policy=st.sampled_from(OVERLAP_POLICIES))
+    def test_total_comm_seconds_conserved(self, workload, policy):
+        tasks, compute, update = workload
+        cross = simulate_iteration(
+            tasks, compute_seconds=compute, overlap=policy, update_seconds=update,
+            cross_bucket_pipeline=True,
+        )
+        assert cross.total_comm_seconds == pytest.approx(
+            sum(t.comm_seconds for t in tasks), rel=1e-12, abs=1e-12
+        )
+        # Rigid sliding: each bucket's internal placement is preserved.
+        by_index = {t.index: t for t in tasks}
+        for event in cross.events:
+            task = by_index[event.index]
+            assert event.comm_end - event.comm_start == pytest.approx(task.comm_seconds)
+            for phase, (_, seconds, offset, link) in zip(event.phases, task.comm_phases):
+                assert phase.start - event.comm_start == pytest.approx(offset, abs=1e-12)
+                assert phase.end - phase.start == pytest.approx(seconds, abs=1e-12)
+                assert phase.link == link
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        policy=st.sampled_from(OVERLAP_POLICIES),
+        chunks=st.integers(min_value=1, max_value=8),
+        payload=st.floats(min_value=1e4, max_value=1e8),
+        num_buckets=st.integers(min_value=1, max_value=4),
+    )
+    def test_invariants_hold_for_real_pipelined_collectives(
+        self, policy, chunks, payload, num_buckets
+    ):
+        # Chunk-placed hierarchical costs (gapped templates) through the
+        # timeline's own phase conversion: exclusivity and conservation must
+        # survive template sliding too.
+        from repro.distributed import COLLECTIVE_ALGORITHMS, ClusterTopology, NetworkModel
+        from repro.distributed.timeline import _comm_phase_entries
+
+        topology = ClusterTopology(
+            num_nodes=4,
+            devices_per_node=4,
+            inter_node=NetworkModel(bandwidth_gbps=10.0, latency_s=5e-5, name="inter"),
+            intra_node=NetworkModel(bandwidth_gbps=100.0, latency_s=5e-6, name="intra"),
+        )
+        cost = COLLECTIVE_ALGORITHMS["hierarchical"].cost(
+            topology, "allgather", payload, pipeline_chunks=chunks
+        )
+        tasks = [
+            BucketTask(
+                index=i,
+                ready_seconds=(num_buckets - i) / num_buckets,
+                compress_seconds=0.01,
+                comm_seconds=cost.total,
+                comm_phases=_comm_phase_entries(cost),
+            )
+            for i in range(num_buckets)
+        ]
+        serial = simulate_iteration(tasks, compute_seconds=1.0, overlap=policy)
+        cross = simulate_iteration(
+            tasks, compute_seconds=1.0, overlap=policy, cross_bucket_pipeline=True
+        )
+        assert cross.iteration_seconds <= serial.iteration_seconds + 1e-9
+        assert cross.total_comm_seconds == pytest.approx(
+            sum(t.comm_seconds for t in tasks), rel=1e-12
+        )
+        by_link: dict[str, list[tuple[float, float]]] = {}
+        for event in cross.events:
+            for phase in event.phases:
+                if phase.end > phase.start:
+                    by_link.setdefault(phase.link, []).append((phase.start, phase.end))
+        for spans in by_link.values():
+            spans.sort()
+            for (_, a_end), (b_start, _) in zip(spans, spans[1:]):
+                assert b_start >= a_end - 1e-9 * max(1.0, a_end)
+
+
+class TestLinkUtilization:
+    def test_busy_seconds_sum_phase_durations(self, two_fabric_schedule):
+        for cross in (False, True):
+            util = two_fabric_schedule(cross).link_utilization()
+            assert util["intra"]["busy_seconds"] == pytest.approx(3 * 0.18)
+            assert util["inter"]["busy_seconds"] == pytest.approx(3 * 0.5)
+
+    def test_cross_bucket_raises_link_utilization(self, two_fabric_schedule):
+        serial = two_fabric_schedule(False).link_utilization()
+        cross = two_fabric_schedule(True).link_utilization()
+        # Same busy time over a shorter window on every fabric.
+        for link in ("intra", "inter"):
+            assert cross[link]["window_seconds"] < serial[link]["window_seconds"]
+            assert cross[link]["utilization"] > serial[link]["utilization"]
+        assert cross["inter"]["utilization"] <= 1.0 + 1e-9
+
+    def test_phaseless_events_fall_on_anonymous_lane(self):
+        tasks = [
+            BucketTask(index=0, ready_seconds=0.0, compress_seconds=0.0, comm_seconds=0.4)
+        ]
+        schedule = simulate_iteration(tasks, compute_seconds=0.1, overlap="comm")
+        util = schedule.link_utilization()
+        assert set(util) == {""}
+        assert util[""]["busy_seconds"] == pytest.approx(0.4)
+        assert util[""]["utilization"] == pytest.approx(1.0)
+
+
+class TestPr4GoldenSchedules:
+    """Golden pins captured at the PR-4 head (commit 562d90d).
+
+    The workload prices four buckets' hierarchical all-gathers on the
+    ``ethernet-4x8`` preset (serial phases and ``pipeline_chunks=4``) and runs
+    them through ``simulate_iteration`` with the serial network lane.  The
+    ``cross_bucket_pipeline=False`` default must reproduce every number
+    bit-for-bit — the cross-bucket refactor may not perturb the PR-4
+    schedules.
+    """
+
+    PAYLOADS = (2_000_000.0, 1_500_000.0, 1_000_000.0, 500_000.0)
+    COMPUTE = 0.05
+    UPDATE = 0.001
+
+    #: (collective, policy) -> (iteration_seconds, ((comm_start, comm_end), ...))
+    GOLDEN = {
+        ("serial", "none"): (0.36137904761904766, ((0.2403414285714286, 0.36037904761904765), (0.1502657142857143, 0.2403414285714286), (0.09015190476190478, 0.1502657142857143), (0.06000000000000001, 0.09015190476190478))),
+        ("serial", "comm"): (0.35537904761904765, ((0.2343414285714286, 0.35437904761904765), (0.1442657142857143, 0.2343414285714286), (0.08415190476190477, 0.1442657142857143), (0.054000000000000006, 0.08415190476190477))),
+        ("serial", "comm+compress"): (0.3178790476190476, ((0.19684142857142858, 0.3168790476190476), (0.1067657142857143, 0.19684142857142858), (0.04665190476190477, 0.1067657142857143), (0.0165, 0.04665190476190477))),
+        ("chunked", "none"): (0.3441790476190476, ((0.2302914285714286, 0.3431790476190476), (0.1454657142857143, 0.2302914285714286), (0.08870190476190477, 0.1454657142857143), (0.06000000000000001, 0.08870190476190477))),
+        ("chunked", "comm"): (0.3381790476190476, ((0.22429142857142859, 0.3371790476190476), (0.1394657142857143, 0.22429142857142859), (0.08270190476190477, 0.1394657142857143), (0.054000000000000006, 0.08270190476190477))),
+        ("chunked", "comm+compress"): (0.3006790476190476, ((0.18679142857142858, 0.2996790476190476), (0.1019657142857143, 0.18679142857142858), (0.04520190476190476, 0.1019657142857143), (0.0165, 0.04520190476190476))),
+    }
+
+    def _tasks(self, model):
+        from repro.distributed.timeline import _comm_phase_entries
+
+        n = len(self.PAYLOADS)
+        return [
+            BucketTask(
+                index=i,
+                ready_seconds=self.COMPUTE * (n - i) / n,
+                compress_seconds=0.001 * (i + 1),
+                comm_seconds=model.allgather_cost(payload).total,
+                comm_phases=_comm_phase_entries(model.allgather_cost(payload)),
+            )
+            for i, payload in enumerate(self.PAYLOADS)
+        ]
+
+    @pytest.mark.parametrize("collective", ["serial", "chunked"])
+    @pytest.mark.parametrize("policy", OVERLAP_POLICIES)
+    def test_serial_lane_reproduces_pr4_head(self, collective, policy):
+        from repro.distributed import CollectiveModel, get_topology
+
+        chunks = 4 if collective == "chunked" else 1
+        model = CollectiveModel(
+            get_topology("ethernet-4x8"),
+            allgather_algorithm="hierarchical",
+            pipeline_chunks=chunks,
+        )
+        schedule = simulate_iteration(
+            self._tasks(model),
+            compute_seconds=self.COMPUTE,
+            overlap=policy,
+            update_seconds=self.UPDATE,
+            cross_bucket_pipeline=False,
+        )
+        golden_total, golden_spans = self.GOLDEN[(collective, policy)]
+        assert schedule.iteration_seconds == golden_total
+        assert tuple((e.comm_start, e.comm_end) for e in schedule.events) == golden_spans

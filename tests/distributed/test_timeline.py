@@ -2,7 +2,6 @@
 
 import warnings
 
-import numpy as np
 import pytest
 
 from repro.compressors import create_compressor
@@ -520,3 +519,99 @@ class TestDedupAndPipelinedTimeline:
             assert a.total == b.total
             assert a.communication == b.communication
             assert b.dedup_ratio == 1.0
+
+
+class TestCrossBucketTimeline:
+    """cross_bucket_pipeline threaded TimelineModel -> schedule -> IterationTiming."""
+
+    INTER = NetworkModel(bandwidth_gbps=10.0, latency_s=5e-5, name="inter", efficiency=0.35)
+    INTRA = NetworkModel(bandwidth_gbps=25.0, latency_s=3e-5, name="intra", efficiency=0.35)
+
+    def _collective(self, **kwargs):
+        topology = ClusterTopology(
+            num_nodes=4, devices_per_node=2, inter_node=self.INTER, intra_node=self.INTRA
+        )
+        return CollectiveModel(topology, allgather_algorithm="hierarchical", **kwargs)
+
+    def _timeline(self, cross=False, compute=0.02, scale=1000.0):
+        collective = self._collective()
+        return TimelineModel(
+            network=self.INTER,
+            device=GPU_V100,
+            compute_seconds=compute,
+            num_workers=collective.num_workers,
+            model_dimension=20_000,
+            dimension_scale=scale,
+            collective=collective,
+            cross_bucket_pipeline=cross,
+        )
+
+    def _bucketed_results(self, num_workers=2, ratio=0.05):
+        from repro.pipeline import CompressionPipeline
+
+        gradient = realistic_gradient(20_000, seed=13)
+        pipeline = CompressionPipeline(create_compressor("topk"), bucket_bytes=16_000)
+        return [pipeline.compress(gradient, ratio) for _ in range(num_workers)]
+
+    def test_model_default_keeps_serial_lane(self):
+        timing = self._timeline().compressed_iteration(self._bucketed_results(), overlap="comm")
+        assert not timing.cross_bucket_pipeline
+        assert not timing.schedule.cross_bucket
+
+    def test_cross_bucket_faster_never_changes_component_sum(self):
+        results = self._bucketed_results()
+        serial = self._timeline(cross=False).compressed_iteration(results, overlap="comm")
+        cross = self._timeline(cross=True).compressed_iteration(results, overlap="comm")
+        # Scheduling moves work between lanes; it never reprices the work.
+        assert cross.communication == serial.communication
+        assert cross.compression == serial.compression
+        assert cross.serialized == serial.serialized
+        assert cross.total < serial.total
+        assert cross.cross_bucket_pipeline
+        assert cross.schedule.cross_bucket
+        assert cross.schedule.total_comm_seconds == pytest.approx(
+            serial.schedule.total_comm_seconds
+        )
+
+    def test_per_call_override_wins_over_model_default(self):
+        results = self._bucketed_results()
+        model = self._timeline(cross=False)
+        overridden = model.compressed_iteration(
+            results, overlap="comm", cross_bucket_pipeline=True
+        )
+        assert overridden.cross_bucket_pipeline
+        assert overridden.total == self._timeline(cross=True).compressed_iteration(
+            results, overlap="comm"
+        ).total
+
+    def test_overlap_none_prices_without_schedule(self):
+        timing = self._timeline(cross=True).compressed_iteration(
+            self._bucketed_results(), overlap="none"
+        )
+        assert timing.schedule is None
+        assert not timing.cross_bucket_pipeline
+        assert timing.total == timing.serialized
+
+    def test_unbucketed_results_report_serial_lane(self):
+        gradient = realistic_gradient(20_000, seed=13)
+        results = [create_compressor("topk").compress(gradient, 0.1) for _ in range(2)]
+        timing = self._timeline(cross=True).compressed_iteration(results, overlap="comm")
+        assert timing.schedule is None
+        assert not timing.cross_bucket_pipeline
+
+    def test_non_bool_flag_rejected_at_model_construction(self):
+        with pytest.raises(ValueError, match="cross_bucket_pipeline"):
+            self._timeline(cross=1)
+
+    def test_link_utilization_rises_with_cross_bucket(self):
+        results = self._bucketed_results()
+        serial = self._timeline(cross=False).compressed_iteration(results, overlap="comm")
+        cross = self._timeline(cross=True).compressed_iteration(results, overlap="comm")
+        serial_util = serial.schedule.link_utilization()
+        cross_util = cross.schedule.link_utilization()
+        assert set(cross_util) == {"intra", "inter"}
+        for link in cross_util:
+            assert cross_util[link]["busy_seconds"] == pytest.approx(
+                serial_util[link]["busy_seconds"]
+            )
+            assert cross_util[link]["utilization"] >= serial_util[link]["utilization"]

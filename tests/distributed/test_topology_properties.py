@@ -26,7 +26,6 @@ from repro.distributed import (
     CollectiveModel,
     NetworkModel,
     SparseAggregateModel,
-    hierarchical_crossover_factor,
 )
 
 ALGORITHM_OPS = [

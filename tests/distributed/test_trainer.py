@@ -348,3 +348,53 @@ class TestDedupPipelineThreading:
             _config(**base, pipeline_chunks=1, dedup_assumption=None),
         ).run()
         assert knobs_off.metrics.total_time == default.metrics.total_time
+
+
+class TestCrossBucketThreading:
+    """cross_bucket_pipeline threaded config -> timeline -> run metrics."""
+
+    def _two_level(self):
+        from repro.distributed import ClusterTopology
+        from repro.distributed.network import CLUSTER_ETHERNET_10G, CLUSTER_ETHERNET_25G
+
+        return ClusterTopology(
+            num_nodes=2,
+            devices_per_node=2,
+            inter_node=CLUSTER_ETHERNET_10G,
+            intra_node=CLUSTER_ETHERNET_25G,
+            name="test-2x2-torus",
+        )
+
+    def test_invalid_flag_rejected_at_config_time(self):
+        with pytest.raises(ValueError, match="cross_bucket_pipeline"):
+            _config(cross_bucket_pipeline="yes")
+
+    def test_trainer_threads_flag_into_timeline(self):
+        config = _config(
+            topology=self._two_level(),
+            allgather_algorithm="hierarchical",
+            overlap="comm",
+            cross_bucket_pipeline=True,
+        )
+        trainer = DistributedTrainer(_model(), _dataset(), "topk", config)
+        assert trainer.timeline.cross_bucket_pipeline
+
+    def test_cross_bucket_run_no_slower_and_same_serialized_time(self):
+        base = dict(
+            seed=5, ratio=0.1, iterations=8, overlap="comm",
+            topology=self._two_level(), allgather_algorithm="hierarchical",
+            dimension_scale=2000.0, bucket_bytes=512,
+        )
+        serial = DistributedTrainer(
+            _model(seed=7), _dataset(5), "topk", _config(**base)
+        ).run()
+        cross = DistributedTrainer(
+            _model(seed=7), _dataset(5), "topk",
+            _config(**base, cross_bucket_pipeline=True),
+        ).run()
+        assert cross.metrics.total_time < serial.metrics.total_time
+        # The flat component sum is scheduling-invariant.
+        assert cross.metrics.serialized_total_time == pytest.approx(
+            serial.metrics.serialized_total_time
+        )
+        assert cross.config.cross_bucket_pipeline

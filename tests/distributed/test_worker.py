@@ -1,7 +1,6 @@
 """Tests for the simulated worker."""
 
 import numpy as np
-import pytest
 
 from repro.compressors import create_compressor
 from repro.data import BatchIterator, make_blobs_classification, shard_dataset

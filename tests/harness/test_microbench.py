@@ -1,6 +1,5 @@
 """Tests for the compression micro-benchmark harness."""
 
-import numpy as np
 import pytest
 
 from repro.harness import quality_matrix, run_microbenchmark, run_synthetic_size_sweep, speedup_matrix

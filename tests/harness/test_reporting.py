@@ -154,3 +154,33 @@ class TestPhaseBreakdown:
         assert "pipelined" not in text
         assert "makespan" not in text
         assert "total" in text
+
+
+class TestLinkUtilizationReport:
+    def test_renders_per_link_rows_and_lane_mode(self, two_fabric_schedule):
+        from repro.harness import format_link_utilization
+
+        serial = format_link_utilization(two_fabric_schedule(False))
+        cross = format_link_utilization(two_fabric_schedule(True))
+        assert "serial lane" in serial
+        assert "per-link lanes" in cross
+        for text in (serial, cross):
+            assert "intra" in text and "inter" in text
+            assert "utilisation=" in text and "busy=" in text
+
+    def test_empty_schedule_renders_placeholder(self):
+        from repro.distributed import simulate_iteration
+        from repro.harness import format_link_utilization
+
+        schedule = simulate_iteration([], compute_seconds=0.1, overlap="comm")
+        assert "(no communication events)" in format_link_utilization(schedule)
+
+    def test_anonymous_lane_labelled(self):
+        from repro.distributed import BucketTask, simulate_iteration
+        from repro.harness import format_link_utilization
+
+        tasks = [BucketTask(index=0, ready_seconds=0.0, compress_seconds=0.0, comm_seconds=0.2)]
+        text = format_link_utilization(
+            simulate_iteration(tasks, compute_seconds=0.1, overlap="comm")
+        )
+        assert "(unattributed)" in text

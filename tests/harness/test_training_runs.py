@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.harness import compare_compressors, run_benchmark
+from repro.harness import compare_compressors, get_benchmark, run_benchmark
 
 
 class TestRunBenchmark:
@@ -182,3 +182,68 @@ class TestDedupPipelineThreading:
         assert row.pipeline_chunks == 1
         assert row.dedup_assumption == "off"
         assert row.dedup_ratio == 1.0
+
+
+class TestCrossBucketThreading:
+    def _torus(self):
+        from repro.distributed import ClusterTopology
+        from repro.distributed.network import CLUSTER_ETHERNET_10G, CLUSTER_ETHERNET_25G
+
+        return ClusterTopology(
+            num_nodes=2,
+            devices_per_node=2,
+            inter_node=CLUSTER_ETHERNET_10G,
+            intra_node=CLUSTER_ETHERNET_25G,
+            name="harness-2x2-torus",
+        )
+
+    def test_run_benchmark_threads_the_flag(self):
+        result = run_benchmark(
+            "resnet20-cifar10", "topk", 0.1, iterations=4, seed=0,
+            topology=self._torus(), allgather_algorithm="hierarchical",
+            bucket_bytes=64 * 1024, overlap="comm", cross_bucket_pipeline=True,
+        )
+        assert result.config.cross_bucket_pipeline
+
+    def test_cross_bucket_run_is_no_slower(self):
+        kwargs = dict(
+            iterations=4, seed=0, topology=self._torus(),
+            allgather_algorithm="hierarchical", bucket_bytes=2 * 2**20, overlap="comm",
+        )
+        serial = run_benchmark("vgg16-cifar10", "topk", 0.1, **kwargs)
+        cross = run_benchmark(
+            "vgg16-cifar10", "topk", 0.1, cross_bucket_pipeline=True, **kwargs
+        )
+        assert cross.metrics.total_time <= serial.metrics.total_time
+        assert cross.metrics.serialized_total_time == pytest.approx(
+            serial.metrics.serialized_total_time
+        )
+
+    def test_compare_compressors_reports_the_flag(self):
+        comparison = compare_compressors(
+            "resnet20-cifar10", ("topk",), (0.1,), iterations=4, seed=0,
+            topology=self._torus(), allgather_algorithm="hierarchical",
+            bucket_bytes=64 * 1024, overlap="comm", cross_bucket_pipeline=True,
+        )
+        row = comparison.rows[0]
+        assert row.cross_bucket_pipeline
+        assert row.topology == "harness-2x2-torus"
+
+    def test_flag_defaults_off_in_rows(self):
+        comparison = compare_compressors(
+            "resnet20-cifar10", ("topk",), (0.01,), num_workers=2, iterations=4, seed=0,
+        )
+        assert comparison.rows[0].cross_bucket_pipeline is False
+
+    def test_benchmark_config_default_feeds_run(self):
+        from dataclasses import replace
+
+        config = replace(
+            get_benchmark("resnet20-cifar10"),
+            topology=None,
+            cross_bucket_pipeline=True,
+        )
+        result = run_benchmark(
+            config, "topk", 0.1, num_workers=2, iterations=3, seed=0,
+        )
+        assert result.config.cross_bucket_pipeline

@@ -1,6 +1,5 @@
 """Tests for learning-rate schedules."""
 
-import numpy as np
 import pytest
 
 from repro.nn import Linear, Sequential

@@ -1,0 +1,63 @@
+"""Smoke-execute every example script at reduced sizes.
+
+The examples are the repo's front door: each ``main()`` takes size/iteration
+keyword arguments (defaulting to the full demonstration scale) precisely so
+this suite can *run* them — not just import them — in a few seconds.  A smoke
+run must produce its headline table on stdout and raise nothing.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[1] / "examples"
+
+#: (module name, small-size kwargs, text expected in the printed report).
+EXAMPLES = [
+    ("quickstart", {"dimension": 20_000, "settle_steps": 2}, "Compression at a glance"),
+    ("overlap_timeline", {"dimension": 200_000, "sample": 50_000}, "one iteration"),
+    (
+        "cnn_distributed_training",
+        {"iterations": 4, "num_workers": 2},
+        "error feedback ablation",
+    ),
+    ("gradient_analysis", {"capture_at": (2, 4), "num_workers": 2}, "compressibility"),
+    (
+        "language_model_compression",
+        {"iterations": 4, "num_workers": 2},
+        "Loss vs simulated wall-clock time",
+    ),
+    ("microbenchmark_report", {"models": ("vgg16",), "sample_size": 20_000}, "vgg16"),
+]
+
+
+def _load_example(name: str):
+    spec = importlib.util.spec_from_file_location(
+        f"examples.{name}", EXAMPLES_DIR / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_every_example_is_covered():
+    scripts = {path.stem for path in EXAMPLES_DIR.glob("*.py")}
+    assert scripts == {name for name, _, _ in EXAMPLES}
+
+
+@pytest.mark.parametrize(
+    "name,kwargs,expected", EXAMPLES, ids=[name for name, _, _ in EXAMPLES]
+)
+def test_example_runs_at_small_size(name, kwargs, expected, capsys):
+    module = _load_example(name)
+    try:
+        module.main(**kwargs)
+    finally:
+        sys.modules.pop(f"examples.{name}", None)
+    out = capsys.readouterr().out
+    assert expected in out
+    assert len(out.splitlines()) >= 3

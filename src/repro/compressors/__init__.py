@@ -1,6 +1,6 @@
 """Gradient compressors: SIDCo baselines and competitors."""
 
-from .base import Compressor, CompressionResult, OpRecord
+from .base import BucketedFit, Compressor, CompressionResult, OpRecord
 from .dgc import DGC
 from .gaussiank import GaussianKSGD
 from .randomk import RandomK
@@ -20,6 +20,7 @@ __all__ = [
     "PAPER_COMPRESSORS",
     "SIDCO_VARIANTS",
     "AdaptiveHardThreshold",
+    "BucketedFit",
     "Compressor",
     "CompressionResult",
     "GaussianKSGD",

@@ -20,10 +20,14 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
 from ..tensor.sparse import SparseGradient
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (pipeline imports us)
+    from ..pipeline.bucketing import BucketLayout
 
 
 @dataclass(frozen=True)
@@ -70,6 +74,34 @@ class CompressionResult:
         return self.sparse.nnz / expected_k
 
 
+@dataclass
+class BucketedFit:
+    """Per-bucket selections from one batched ``fit_all_buckets`` pass.
+
+    The arrays are bucket-major: bucket 0's selection first, then bucket 1's,
+    each in the same within-bucket order the compressor's scalar ``compress``
+    would have produced on that bucket alone — which is what makes the batched
+    path bit-for-bit comparable against the per-bucket loop.
+    """
+
+    #: global flat indices of the kept elements, bucket-major
+    indices: np.ndarray
+    #: transmitted values aligned with ``indices`` (rescaled where the
+    #: compressor rescales, e.g. Random-k's ``d/k`` factor per bucket)
+    values: np.ndarray
+    #: (num_buckets,) number of kept elements per bucket
+    bucket_nnz: np.ndarray
+    #: per-bucket thresholds; ``None`` (or ``+inf``) where the bucket's
+    #: selection is not threshold-based or the bucket selected nothing
+    bucket_thresholds: "Sequence[float | None] | np.ndarray"
+    #: the effective target ratio (``NoCompression`` normalises it to 1.0)
+    target_ratio: float
+    #: fused operation trace: one launch per primitive across all buckets
+    ops: list[OpRecord] = field(default_factory=list)
+    #: compressor-specific extras merged into the result metadata
+    metadata: dict = field(default_factory=dict)
+
+
 class Compressor(abc.ABC):
     """Abstract gradient compressor.
 
@@ -87,6 +119,32 @@ class Compressor(abc.ABC):
 
     def reset(self) -> None:
         """Clear any cross-iteration state (no-op by default)."""
+
+    def fit_all_buckets(
+        self, gradient: np.ndarray, layout: "BucketLayout", ratio: float
+    ) -> BucketedFit | None:
+        """Batched bucket-axis compression: fit every bucket in one call.
+
+        The contract mirrors what :mod:`repro.pipeline.vectorized` does for
+        SIDCo: take the validated flat gradient plus the
+        :class:`~repro.pipeline.bucketing.BucketLayout` that tiles it, and
+        return the per-bucket thresholds/selections of *all* buckets from one
+        batched NumPy pass — per-bucket Python ``compress`` calls, their
+        repeated ``|g|`` passes and their per-bucket op-trace bookkeeping all
+        collapse into fused whole-gradient work.
+
+        Implementations must be *selection-equivalent* to running ``compress``
+        on each bucket view in order: same kept indices and values bit-for-bit
+        (stateful compressors must also leave their cross-call state — RNG
+        streams, adaptive scales — exactly as the per-bucket loop would),
+        with tie-breaking tolerance only where ``argpartition`` order among
+        exactly-tied magnitudes is inherently ambiguous.
+
+        Returning ``None`` declines the batched path;
+        :class:`~repro.pipeline.CompressionPipeline` then falls back to the
+        scalar per-bucket loop.  The base implementation always declines.
+        """
+        return None
 
     # -- shared helpers ----------------------------------------------------
 

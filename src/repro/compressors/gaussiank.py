@@ -14,7 +14,15 @@ from __future__ import annotations
 import numpy as np
 from scipy import special as _sp
 
-from .base import Compressor, CompressionResult, OpRecord
+from .base import BucketedFit, Compressor, CompressionResult, OpRecord
+from .bucketed import (
+    abs_block,
+    bucket_target_ks,
+    concat_indices,
+    probe_round_ops,
+    select_ge,
+    workspace_for,
+)
 
 
 class GaussianKSGD(Compressor):
@@ -79,3 +87,65 @@ class GaussianKSGD(Compressor):
         # Selection is done on |g| (not |g - mean|) as in the published scheme;
         # gradients are near-zero mean so the two coincide in practice.
         return self._result_from_threshold(arr, threshold, ratio, ops, {"iterations": iterations})
+
+    def fit_all_buckets(self, gradient: np.ndarray, layout, ratio: float) -> BucketedFit:
+        arr = np.asarray(gradient, dtype=np.float64).ravel()
+        sizes = layout.sizes()
+        num = layout.num_buckets
+        ks = bucket_target_ks(sizes, ratio)
+        # The Gaussian quantile factor depends only on the target ratio, so it
+        # is computed once for every bucket (the scalar path recomputes it per
+        # bucket); the multiplication order below matches the scalar formula.
+        erfinv_tail = _sp.erfinv(1.0 - ratio)
+        sqrt2 = np.sqrt(2.0)
+
+        # |g - mean| probes and the final |g| selection run bucket-blocked off
+        # one scratch buffer; the correction-loop arithmetic is per-bucket
+        # Python floats exactly like the scalar path (bit-for-bit state).
+        scratch = workspace_for(layout)
+        idx_chunks: list[np.ndarray] = []
+        bucket_nnz = np.empty(num, dtype=np.int64)
+        thresholds: list[float] = []
+        probe_iters = np.zeros(num, dtype=np.int64)
+        for i in range(num):
+            start, stop = layout.bounds(i)
+            view = arr[start:stop]
+            mean = float(view.mean())
+            std = float(view.std())
+            if std == 0.0:
+                threshold = abs(mean)
+            else:
+                threshold = float(std * sqrt2 * erfinv_tail)
+                mags = scratch[: stop - start]
+                np.subtract(view, mean, out=mags)
+                np.abs(mags, out=mags)
+                for iterations in range(1, self.max_adjust_iters + 1):
+                    probe_iters[i] = iterations
+                    selected = int(np.count_nonzero(mags >= threshold))
+                    if selected > (1.0 + self.tolerance) * ks[i]:
+                        threshold *= 1.0 + self.step
+                    elif selected < (1.0 - self.tolerance) * ks[i]:
+                        threshold *= 1.0 - self.step
+                    else:
+                        break
+            mags = abs_block(arr, start, stop, scratch)
+            idx = select_ge(mags, threshold, start)
+            idx_chunks.append(idx)
+            bucket_nnz[i] = idx.size
+            thresholds.append(float(threshold))
+
+        d = arr.size
+        ops = [OpRecord("reduce", d), OpRecord("reduce", d), OpRecord("elementwise", d)]
+        ops.extend(probe_round_ops(sizes, probe_iters))
+        ops.append(OpRecord("elementwise", d))
+        ops.append(OpRecord("compact", d, int(bucket_nnz.sum())))
+
+        indices = concat_indices(idx_chunks)
+        return BucketedFit(
+            indices=indices,
+            values=arr[indices],
+            bucket_nnz=bucket_nnz,
+            bucket_thresholds=thresholds,
+            target_ratio=ratio,
+            ops=ops,
+        )

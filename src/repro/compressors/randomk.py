@@ -4,7 +4,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from .base import Compressor, CompressionResult, OpRecord
+from .base import BucketedFit, Compressor, CompressionResult, OpRecord
+from .bucketed import bucket_target_ks, concat_indices
 from ..tensor.sparse import SparseGradient
 
 
@@ -42,5 +43,33 @@ class RandomK(Compressor):
             target_ratio=ratio,
             threshold=None,
             ops=ops,
+            metadata={"rescaled": self.rescale},
+        )
+
+    def fit_all_buckets(self, gradient: np.ndarray, layout, ratio: float) -> BucketedFit:
+        arr = np.asarray(gradient, dtype=np.float64).ravel()
+        sizes = layout.sizes()
+        starts = layout.starts()
+        ks = bucket_target_ks(sizes, ratio)
+
+        # Replay the scalar loop's per-bucket draws on the shared generator
+        # (same stream), then gather and rescale every bucket in one pass.
+        idx_chunks = [
+            starts[i] + self._rng.choice(int(sizes[i]), size=int(ks[i]), replace=False)
+            for i in range(layout.num_buckets)
+        ]
+        indices = concat_indices(idx_chunks)
+        values = arr[indices]
+        if self.rescale:
+            values = values * np.repeat(sizes / ks, ks)
+
+        total_k = int(ks.sum())
+        return BucketedFit(
+            indices=indices,
+            values=values,
+            bucket_nnz=ks,
+            bucket_thresholds=[None] * layout.num_buckets,
+            target_ratio=ratio,
+            ops=[OpRecord("random_sample", arr.size, total_k), OpRecord("compact", total_k, total_k)],
             metadata={"rescaled": self.rescale},
         )

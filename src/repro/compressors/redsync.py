@@ -13,7 +13,15 @@ from __future__ import annotations
 
 import numpy as np
 
-from .base import Compressor, CompressionResult, OpRecord
+from .base import BucketedFit, Compressor, CompressionResult, OpRecord
+from .bucketed import (
+    abs_block,
+    bucket_target_ks,
+    concat_indices,
+    probe_round_ops,
+    select_ge,
+    workspace_for,
+)
 
 
 class RedSync(Compressor):
@@ -74,4 +82,56 @@ class RedSync(Compressor):
 
         return self._result_from_threshold(
             arr, threshold, ratio, ops, {"iterations": iterations, "selected_at_stop": selected}
+        )
+
+    def fit_all_buckets(self, gradient: np.ndarray, layout, ratio: float) -> BucketedFit:
+        arr = np.asarray(gradient, dtype=np.float64).ravel()
+        sizes = layout.sizes()
+        num = layout.num_buckets
+        ks = bucket_target_ks(sizes, ratio)
+
+        # Each bucket's probe search runs off one cache-hot |g| scratch block
+        # (the probes are data-dependent, so blocking — not stage-major 2-D
+        # broadcasting — is what keeps this faster than the scalar loop); the
+        # interpolation arithmetic and the fused trace batch across buckets.
+        scratch = workspace_for(layout)
+        idx_chunks: list[np.ndarray] = []
+        bucket_nnz = np.empty(num, dtype=np.int64)
+        thresholds: list[float] = []
+        probe_iters = np.zeros(num, dtype=np.int64)
+        for i in range(num):
+            start, stop = layout.bounds(i)
+            mags = abs_block(arr, start, stop, scratch)
+            mean = float(mags.mean())
+            maximum = float(mags.max())
+            if maximum <= mean or maximum == 0.0:
+                threshold = mean
+            else:
+                alpha = 1.0
+                threshold = maximum
+                for iterations in range(1, self.max_search_iters + 1):
+                    alpha *= self.shrink_factor
+                    threshold = mean + alpha * (maximum - mean)
+                    if int(np.count_nonzero(mags >= threshold)) >= ks[i]:
+                        break
+                probe_iters[i] = iterations
+            idx = select_ge(mags, threshold, start)
+            idx_chunks.append(idx)
+            bucket_nnz[i] = idx.size
+            thresholds.append(float(threshold))
+
+        d = arr.size
+        ops = [OpRecord("elementwise", d), OpRecord("reduce", d), OpRecord("reduce", d)]
+        ops.extend(probe_round_ops(sizes, probe_iters))
+        ops.append(OpRecord("elementwise", d))
+        ops.append(OpRecord("compact", d, int(bucket_nnz.sum())))
+
+        indices = concat_indices(idx_chunks)
+        return BucketedFit(
+            indices=indices,
+            values=arr[indices],
+            bucket_nnz=bucket_nnz,
+            bucket_thresholds=thresholds,
+            target_ratio=ratio,
+            ops=ops,
         )

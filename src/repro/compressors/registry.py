@@ -76,7 +76,13 @@ def create_compressor(name: str, **kwargs) -> Compressor:
     """Instantiate a compressor by its registry name."""
     key = name.lower()
     if key not in _REGISTRY:
-        raise ValueError(f"unknown compressor {name!r}; available: {available_compressors()}")
+        # Like get_network/get_topology: the error names every registered
+        # compressor (including the sidco-*-bucketed pipeline variants), with
+        # the paper's figure line-up called out as the common subset.
+        raise ValueError(
+            f"unknown compressor {name!r}; known: {available_compressors()} "
+            f"(paper line-up: {list(PAPER_COMPRESSORS)})"
+        )
     return _REGISTRY[key](**kwargs)
 
 

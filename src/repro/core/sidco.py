@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..compressors.base import Compressor, CompressionResult
+from ..compressors.base import BucketedFit, Compressor, CompressionResult, OpRecord
 from ..stats.fitting import SIDName, validate_sid
 from .stages import StageController, StageControllerConfig
 from .threshold import DEFAULT_FIRST_STAGE_RATIO, estimate_multi_stage
@@ -127,6 +127,53 @@ class SIDCo(Compressor):
         )
         self.controller.observe(result.achieved_k, target_k)
         return result
+
+    def fit_all_buckets(self, gradient: np.ndarray, layout, ratio: float) -> BucketedFit | None:
+        """Batched per-bucket SID fitting (the PR-1 vectorized fast path).
+
+        Declines (returns ``None``) on degenerate gradients with no tail to
+        fit; the pipeline then falls back to the whole-vector degenerate
+        handling of :meth:`compress`.  The stage controller is *not* observed
+        here — the pipeline observes the global achieved selection once per
+        call, exactly like the unbucketed compressor.
+        """
+        # Deferred import: repro.pipeline imports this module at load time.
+        from ..pipeline.vectorized import _bucket_mask_and_counts, estimate_multi_stage_bucketed
+
+        arr = np.asarray(gradient, dtype=np.float64).ravel()
+        d = arr.size
+        abs_flat = np.abs(arr)
+        if d < 2 or float(abs_flat.max()) == 0.0:
+            return None
+
+        ops = [_abs_pass(d)]
+        estimate = estimate_multi_stage_bucketed(
+            abs_flat,
+            layout,
+            ratio,
+            self.sid,
+            self.controller.num_stages,
+            first_stage_ratio=self.first_stage_ratio,
+        )
+        ops.extend(estimate.ops)
+        mask, bucket_nnz = _bucket_mask_and_counts(abs_flat, layout, estimate.thresholds)
+        ops.append(OpRecord("elementwise", d))
+        ops.append(OpRecord("compact", d, int(bucket_nnz.sum())))
+        indices = np.flatnonzero(mask)
+        return BucketedFit(
+            indices=indices,
+            values=arr[indices],
+            bucket_nnz=bucket_nnz,
+            bucket_thresholds=estimate.thresholds,
+            target_ratio=ratio,
+            ops=ops,
+            metadata={
+                "sid": self.sid,
+                "num_stages_configured": self.controller.num_stages,
+                "stages_used": estimate.max_stages_used,
+                "bucket_stages_used": estimate.stages_used,
+            },
+        )
 
 
 def _sid_suffix(sid: str) -> str:

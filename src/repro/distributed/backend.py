@@ -1,0 +1,129 @@
+"""Worker compression backends: in-process serial or a real process pool.
+
+The simulated trainer runs every worker's compression in one Python process
+by default.  That is bit-for-bit reproducible but leaves real cores idle
+during the one genuinely heavy step of a simulated iteration — per-worker
+gradient compression.  ``TrainerConfig(worker_backend="process")`` dispatches
+each worker's compress call to a process pool instead:
+
+* tasks are ``(compressor, gradient, ratio)`` triples — everything picklable —
+  shipped in deterministic worker order and mapped back in the same order
+  (``Pool.map`` preserves ordering regardless of completion order),
+* the pool worker returns ``(result, compressor)`` so cross-iteration
+  adaptive state (RNG streams, SIDCo stage controllers, adaptive threshold
+  scales) round-trips through the pool and evolves exactly as it would
+  in-process; the trainer stores the returned compressor back on the worker,
+* tasks are chunked so each pool process receives a contiguous block of
+  workers per iteration rather than one IPC round-trip per worker.
+
+Because every task is self-contained and the map is order-preserving, the
+process backend reproduces the serial backend's :class:`TrainingMetrics`
+bit-for-bit on fixed seeds — the property the backend tests pin across 2 and
+4 workers.  The ``spawn`` start method is used for portability (fork-safety
+with threaded BLAS is not assumed); pool workers import :mod:`repro` from the
+inherited environment.  As with any ``spawn``-based multiprocessing, a user
+script that selects the process backend must guard its entry point with
+``if __name__ == "__main__":``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Sequence
+
+import numpy as np
+
+from ..compressors.base import Compressor, CompressionResult
+
+#: Backends accepted by ``TrainerConfig.worker_backend``.
+WORKER_BACKENDS: tuple[str, ...] = ("serial", "process")
+
+
+def validate_worker_backend(name: str) -> str:
+    """Fail fast on unknown backend names (mirrors the collective validators)."""
+    if name not in WORKER_BACKENDS:
+        raise ValueError(f"unknown worker backend {name!r}; known: {list(WORKER_BACKENDS)}")
+    return name
+
+
+def create_worker_backend(name: str, *, processes: int | None = None) -> "CompressionBackend":
+    """Build the compression backend for a validated backend name."""
+    validate_worker_backend(name)
+    if name == "process":
+        return ProcessCompressionBackend(processes=processes)
+    return SerialCompressionBackend()
+
+
+def _compress_task(
+    task: tuple[Compressor, np.ndarray, float],
+) -> tuple[CompressionResult, Compressor]:
+    """Pool-worker body: compress one gradient, return result plus the
+    state-evolved compressor (module-level so it pickles by reference)."""
+    compressor, gradient, ratio = task
+    return compressor.compress(gradient, ratio), compressor
+
+
+class CompressionBackend:
+    """Maps per-worker ``compress`` calls; results come back in worker order."""
+
+    name = "base"
+
+    def compress_all(
+        self,
+        compressors: Sequence[Compressor],
+        gradients: Sequence[np.ndarray],
+        ratio: float,
+    ) -> list[tuple[CompressionResult, Compressor]]:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any pooled resources (no-op by default)."""
+
+
+class SerialCompressionBackend(CompressionBackend):
+    """The default: compress every worker's gradient in-process, in order."""
+
+    name = "serial"
+
+    def compress_all(self, compressors, gradients, ratio):
+        return [(c.compress(g, ratio), c) for c, g in zip(compressors, gradients)]
+
+
+class ProcessCompressionBackend(CompressionBackend):
+    """Chunked process-pool dispatch of per-worker compression.
+
+    Parameters
+    ----------
+    processes:
+        Pool size; defaults to ``min(num_workers, cpu_count)`` at first use.
+    """
+
+    name = "process"
+
+    def __init__(self, processes: int | None = None) -> None:
+        if processes is not None and processes < 1:
+            raise ValueError(f"processes must be >= 1, got {processes}")
+        self._requested = processes
+        self._pool = None
+        self._processes = 0
+
+    def _ensure_pool(self, num_tasks: int) -> None:
+        if self._pool is not None:
+            return
+        import multiprocessing
+
+        self._processes = self._requested or max(1, min(num_tasks, os.cpu_count() or 1))
+        self._pool = multiprocessing.get_context("spawn").Pool(self._processes)
+
+    def compress_all(self, compressors, gradients, ratio):
+        tasks = [(c, g, ratio) for c, g in zip(compressors, gradients)]
+        self._ensure_pool(len(tasks))
+        # One contiguous chunk of workers per process and per iteration.
+        chunksize = max(1, len(tasks) // self._processes)
+        return self._pool.map(_compress_task, tasks, chunksize=chunksize)
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None

@@ -34,6 +34,7 @@ from ..perfmodel.costs import DeviceProfile
 from ..perfmodel.device import GPU_V100
 from ..pipeline import CompressionPipeline
 from ..tensor.flatten import FlatSpec, unflatten
+from .backend import create_worker_backend, validate_worker_backend
 from .collectives import allgather_sparse, allreduce_dense
 from .metrics import IterationRecord, TrainingMetrics
 from .network import CLUSTER_ETHERNET_10G, NetworkModel
@@ -109,6 +110,11 @@ class TrainerConfig:
     #: keeps the serial whole-occupancy network lane (the PR-4 scheduler).
     #: Only bucketed runs on a multi-link topology have anything to overlap.
     cross_bucket_pipeline: bool = False
+    #: How per-worker compression executes: ``"serial"`` (in-process, the
+    #: default) or ``"process"`` (chunked dispatch to a process pool so
+    #: multi-worker runs use real cores).  Both are bit-for-bit identical on
+    #: fixed seeds; see :mod:`repro.distributed.backend`.
+    worker_backend: str = "serial"
 
     def __post_init__(self) -> None:
         if self.num_workers < 1:
@@ -125,6 +131,7 @@ class TrainerConfig:
             raise ValueError("bucket_bytes must be positive when set")
         validate_overlap(self.overlap)
         validate_cross_bucket(self.cross_bucket_pipeline)
+        validate_worker_backend(self.worker_backend)
         get_collective_algorithm(self.allreduce_algorithm, op="allreduce")
         get_collective_algorithm(self.allgather_algorithm, op="allgather")
         validate_pipeline_chunks(self.pipeline_chunks)
@@ -245,6 +252,7 @@ class DistributedTrainer:
             cross_bucket_pipeline=config.cross_bucket_pipeline,
         )
         self._warmup_compressor = NoCompression()
+        self.backend = create_worker_backend(config.worker_backend)
 
     @staticmethod
     def _make_compressor(
@@ -280,59 +288,13 @@ class DistributedTrainer:
         wall_time = 0.0
         self.model.train()
 
-        for iteration in range(cfg.iterations):
-            in_warmup = iteration < cfg.warmup_iterations
-            lr = self.scheduler.step() if self.scheduler is not None else self.optimizer.lr
-
-            worker_steps = []
-            for worker in self.workers:
-                if in_warmup and not self.is_baseline:
-                    # Warm-up: train uncompressed (the paper's 5-epoch warm-up).
-                    loss, flat = worker.compute_gradient()
-                    result = self._warmup_compressor.compress(flat, 1.0)
-                    worker_steps.append((loss, result, flat))
-                else:
-                    step = worker.step(cfg.ratio)
-                    worker_steps.append((step.loss, step.compression, step.corrected_gradient))
-
-            losses = [s[0] for s in worker_steps]
-            results = [s[1] for s in worker_steps]
-
-            if self.capture is not None:
-                self.capture.record(iteration, worker_steps[0][2])
-
-            if self.is_baseline or in_warmup:
-                collective = allreduce_dense([s[2] for s in worker_steps])
-                timing = self.timeline.baseline_iteration()
-            else:
-                collective = allgather_sparse([r.sparse for r in results])
-                timing = self.timeline.compressed_iteration(results)
-
-            aggregated = collective.aggregated
-            named_grads = unflatten(aggregated, self.workers[0].flat_spec)
-            self.optimizer.step(named_grads)
-
-            wall_time += timing.total
-            achieved_ratio = float(np.mean([r.achieved_ratio for r in results]))
-            thresholds = [r.threshold for r in results if r.threshold is not None]
-            metrics.append(
-                IterationRecord(
-                    iteration=iteration,
-                    loss=float(np.mean(losses)),
-                    achieved_ratio=achieved_ratio,
-                    target_ratio=1.0 if (self.is_baseline or in_warmup) else cfg.ratio,
-                    threshold=float(np.mean(thresholds)) if thresholds else None,
-                    compute_time=timing.compute,
-                    compression_time=timing.compression,
-                    communication_time=timing.communication,
-                    iteration_time=timing.total,
-                    serialized_time=timing.serialized,
-                    wall_time=wall_time,
-                    samples=cfg.batch_size * cfg.num_workers,
-                    learning_rate=lr,
-                    dedup_ratio=timing.dedup_ratio,
-                )
-            )
+        try:
+            for iteration in range(cfg.iterations):
+                wall_time = self._run_iteration(iteration, metrics, wall_time)
+        finally:
+            # Release the process pool (a no-op for the serial backend); a
+            # later run() lazily rebuilds it.
+            self.backend.close()
 
         evaluation = self.evaluate(evaluate_on) if evaluate_on is not None else {}
         return TrainingRunResult(
@@ -341,6 +303,78 @@ class DistributedTrainer:
             compressor_name=self.compressor_name,
             config=cfg,
         )
+
+    def _run_iteration(self, iteration: int, metrics: TrainingMetrics, wall_time: float) -> float:
+        cfg = self.config
+        in_warmup = iteration < cfg.warmup_iterations
+        lr = self.scheduler.step() if self.scheduler is not None else self.optimizer.lr
+
+        if in_warmup and not self.is_baseline:
+            worker_steps = []
+            for worker in self.workers:
+                # Warm-up: train uncompressed (the paper's 5-epoch warm-up).
+                loss, flat = worker.compute_gradient()
+                result = self._warmup_compressor.compress(flat, 1.0)
+                worker_steps.append((loss, result, flat))
+        else:
+            # Model-touching halves stay in-process; the compress calls in the
+            # middle go through the configured backend (serial, or chunked
+            # process-pool dispatch) in deterministic worker order.
+            prepared = [worker.prepare() for worker in self.workers]
+            compressed = self.backend.compress_all(
+                [worker.compressor for worker in self.workers],
+                [p.corrected for p in prepared],
+                cfg.ratio,
+            )
+            worker_steps = []
+            for worker, prep, (result, compressor) in zip(self.workers, prepared, compressed):
+                # The returned compressor carries the state evolved by the
+                # call (identity for the serial backend, a pickle round-trip
+                # for the process pool); store it back so the next iteration
+                # continues the stream.
+                worker.compressor = compressor
+                step = worker.finalize(prep, result)
+                worker_steps.append((step.loss, step.compression, step.corrected_gradient))
+
+        losses = [s[0] for s in worker_steps]
+        results = [s[1] for s in worker_steps]
+
+        if self.capture is not None:
+            self.capture.record(iteration, worker_steps[0][2])
+
+        if self.is_baseline or in_warmup:
+            collective = allreduce_dense([s[2] for s in worker_steps])
+            timing = self.timeline.baseline_iteration()
+        else:
+            collective = allgather_sparse([r.sparse for r in results])
+            timing = self.timeline.compressed_iteration(results)
+
+        aggregated = collective.aggregated
+        named_grads = unflatten(aggregated, self.workers[0].flat_spec)
+        self.optimizer.step(named_grads)
+
+        wall_time += timing.total
+        achieved_ratio = float(np.mean([r.achieved_ratio for r in results]))
+        thresholds = [r.threshold for r in results if r.threshold is not None]
+        metrics.append(
+            IterationRecord(
+                iteration=iteration,
+                loss=float(np.mean(losses)),
+                achieved_ratio=achieved_ratio,
+                target_ratio=1.0 if (self.is_baseline or in_warmup) else cfg.ratio,
+                threshold=float(np.mean(thresholds)) if thresholds else None,
+                compute_time=timing.compute,
+                compression_time=timing.compression,
+                communication_time=timing.communication,
+                iteration_time=timing.total,
+                serialized_time=timing.serialized,
+                wall_time=wall_time,
+                samples=cfg.batch_size * cfg.num_workers,
+                learning_rate=lr,
+                dedup_ratio=timing.dedup_ratio,
+            )
+        )
+        return wall_time
 
     # -- evaluation -------------------------------------------------------------
 

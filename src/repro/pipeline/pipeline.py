@@ -8,27 +8,31 @@ payload sizes in its metadata so the timeline model can price communication
 bucket by bucket (the prerequisite for modelling compute/communication
 overlap).
 
-For SIDCo the pipeline does not loop over buckets at all: the multi-stage SID
-fitting for *all* buckets runs as one batched NumPy pass
-(:func:`~repro.pipeline.vectorized.estimate_multi_stage_bucketed`), sharing
-the wrapped instance's stage controller, which observes the global achieved
+With ``vectorized=True`` (the default) the pipeline does not loop over
+buckets at all: any compressor that implements
+:meth:`~repro.compressors.base.Compressor.fit_all_buckets` — every registry
+compressor does — fits *all* buckets in one batched NumPy pass and the
+pipeline packages the returned :class:`~repro.compressors.base.BucketedFit`.
+For SIDCo that batched pass is
+:func:`~repro.pipeline.vectorized.estimate_multi_stage_bucketed`, sharing the
+wrapped instance's stage controller, which observes the global achieved
 selection once per call exactly like the unbucketed compressor.  Passing
-``vectorized=False`` keeps the same SIDCo semantics but fits each bucket
-through the scalar estimator — the reference the vectorized fast path is
-tested against.
+``vectorized=False`` keeps identical selection semantics but runs the scalar
+per-bucket loop — the reference every batched path is tested against
+bit-for-bit.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from ..compressors.base import Compressor, CompressionResult, OpRecord
+from ..compressors.base import BucketedFit, Compressor, CompressionResult, OpRecord
 from ..core.sidco import SIDCo
 from ..core.threshold import estimate_multi_stage
 from ..tensor.flatten import FlatSpec
 from ..tensor.sparse import FLOAT_BYTES, INDEX_BYTES, SparseGradient
 from .bucketing import DEFAULT_BUCKET_BYTES, BucketLayout, merge_sparse_buckets, split_into_buckets
-from .vectorized import _bucket_mask_and_counts, estimate_multi_stage_bucketed
+from .vectorized import _bucket_mask_and_counts
 
 
 class CompressionPipeline(Compressor):
@@ -44,8 +48,10 @@ class CompressionPipeline(Compressor):
     element_bytes:
         Bytes per dense gradient element on the wire (fp32 by default).
     vectorized:
-        Use the batched all-buckets-at-once SIDCo fitting fast path.  Ignored
-        for non-SIDCo compressors, which always run the per-bucket loop.
+        Use the batched all-buckets-at-once ``fit_all_buckets`` fast path for
+        any compressor that provides one (every registry compressor does);
+        compressors without it — or declining a particular input — fall back
+        to the scalar per-bucket loop.
     flat_spec:
         Optional layer layout of the flattened gradient.  When set, gradients
         whose size matches the spec are bucketed layer-aware
@@ -103,6 +109,10 @@ class CompressionPipeline(Compressor):
         layout = self.layout_for(arr.size)
         if isinstance(self.compressor, SIDCo):
             return self._compress_sidco(arr, ratio, layout)
+        if self.vectorized:
+            fit = self.compressor.fit_all_buckets(arr, layout, ratio)
+            if fit is not None:
+                return self._result_from_fit(fit, layout)
         return self._compress_generic(arr, ratio, layout)
 
     # -- SIDCo fast path ---------------------------------------------------
@@ -111,6 +121,13 @@ class CompressionPipeline(Compressor):
         inner: SIDCo = self.compressor
         d = arr.size
         target_k = self._target_k(d, ratio)
+
+        if self.vectorized:
+            fit = inner.fit_all_buckets(arr, layout, ratio)
+            if fit is not None:
+                result = self._result_from_fit(fit, layout)
+                inner.controller.observe(result.achieved_k, target_k)
+                return result
 
         abs_flat = np.abs(arr)
         if d < 2 or float(abs_flat.max()) == 0.0:
@@ -126,39 +143,26 @@ class CompressionPipeline(Compressor):
 
         ops: list[OpRecord] = [OpRecord("elementwise", d)]
         num_stages = inner.controller.num_stages
-        if self.vectorized:
-            estimate = estimate_multi_stage_bucketed(
-                abs_flat,
-                layout,
-                ratio,
-                inner.sid,
-                num_stages,
-                first_stage_ratio=inner.first_stage_ratio,
-            )
-            thresholds = estimate.thresholds
-            stages_used = estimate.stages_used
-            ops.extend(estimate.ops)
-        else:
-            thresholds = np.empty(layout.num_buckets)
-            stages_used = np.empty(layout.num_buckets, dtype=np.int64)
-            for i in range(layout.num_buckets):
-                start, stop = layout.bounds(i)
-                try:
-                    est = estimate_multi_stage(
-                        abs_flat[start:stop],
-                        ratio,
-                        inner.sid,
-                        num_stages,
-                        first_stage_ratio=inner.first_stage_ratio,
-                    )
-                    thresholds[i] = est.threshold
-                    stages_used[i] = est.stages_used
-                    ops.extend(est.ops)
-                except ValueError:
-                    # Degenerate bucket (e.g. all-zero): select nothing, like
-                    # the vectorized path.
-                    thresholds[i] = np.inf
-                    stages_used[i] = 0
+        thresholds = np.empty(layout.num_buckets)
+        stages_used = np.empty(layout.num_buckets, dtype=np.int64)
+        for i in range(layout.num_buckets):
+            start, stop = layout.bounds(i)
+            try:
+                est = estimate_multi_stage(
+                    abs_flat[start:stop],
+                    ratio,
+                    inner.sid,
+                    num_stages,
+                    first_stage_ratio=inner.first_stage_ratio,
+                )
+                thresholds[i] = est.threshold
+                stages_used[i] = est.stages_used
+                ops.extend(est.ops)
+            except ValueError:
+                # Degenerate bucket (e.g. all-zero): select nothing, like
+                # the vectorized path.
+                thresholds[i] = np.inf
+                stages_used[i] = 0
 
         mask, bucket_nnz = _bucket_mask_and_counts(abs_flat, layout, thresholds)
         ops.append(OpRecord("elementwise", d))
@@ -209,6 +213,34 @@ class CompressionPipeline(Compressor):
                 bucket_nnz,
                 inner=self.compressor.name,
                 bucket_thresholds=bucket_thresholds,
+            ),
+        )
+
+    # -- batched fast path --------------------------------------------------
+
+    def _result_from_fit(self, fit: BucketedFit, layout: BucketLayout) -> CompressionResult:
+        """Package a batched :class:`BucketedFit` exactly like the scalar merge.
+
+        The summary threshold is the mean of the per-bucket thresholds that
+        exist (``None``/``+inf`` entries mark buckets with no threshold-based
+        selection), matching both the generic per-bucket merge and the SIDCo
+        fast path.
+        """
+        bucket_nnz = np.asarray(fit.bucket_nnz, dtype=np.int64)
+        sparse = SparseGradient(indices=fit.indices, values=fit.values, dense_size=layout.total_size)
+        have = [t for t in fit.bucket_thresholds if t is not None and np.isfinite(t)]
+        return CompressionResult(
+            sparse=sparse,
+            target_ratio=fit.target_ratio,
+            threshold=float(np.mean(have)) if have else None,
+            ops=list(fit.ops),
+            metadata=self._bucket_metadata(
+                layout,
+                bucket_nnz,
+                inner=self.compressor.name,
+                vectorized=True,
+                bucket_thresholds=fit.bucket_thresholds,
+                **fit.metadata,
             ),
         )
 

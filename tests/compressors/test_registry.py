@@ -40,6 +40,17 @@ class TestRegistry:
         with pytest.raises(ValueError):
             create_compressor("does-not-exist")
 
+    def test_unknown_name_error_lists_every_registered_compressor(self):
+        # Mirrors get_network/get_topology: the error is self-documenting and
+        # names every registry key, including the sidco-*-bucketed variants.
+        with pytest.raises(ValueError, match="unknown compressor") as excinfo:
+            create_compressor("does-not-exist")
+        message = str(excinfo.value)
+        for name in available_compressors():
+            assert name in message, name
+        for name in PAPER_COMPRESSORS:
+            assert name in message, name
+
     def test_register_custom_compressor(self, small_gradient):
         class Dummy(Compressor):
             name = "dummy"

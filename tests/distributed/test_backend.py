@@ -1,0 +1,120 @@
+"""Worker compression backends: serial/process parity and plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.data import make_blobs_classification
+from repro.distributed import (
+    WORKER_BACKENDS,
+    DistributedTrainer,
+    ProcessCompressionBackend,
+    SerialCompressionBackend,
+    TrainerConfig,
+    create_worker_backend,
+    validate_worker_backend,
+)
+from repro.compressors import create_compressor
+from repro.gradients import realistic_gradient
+
+
+def _dataset(seed=0):
+    return make_blobs_classification(num_examples=128, num_features=16, num_classes=4, seed=seed)
+
+
+def _model(seed=1):
+    from repro.nn import build_model
+
+    return build_model("mlp", input_dim=16, hidden_dims=(32,), num_classes=4, seed=seed)
+
+
+def _run(backend: str, *, num_workers: int, compressor: str = "dgc"):
+    config = TrainerConfig(
+        num_workers=num_workers,
+        batch_size=8,
+        iterations=6,
+        ratio=0.01,
+        lr=0.05,
+        seed=0,
+        compute_seconds=0.01,
+        worker_backend=backend,
+    )
+    return DistributedTrainer(_model(), _dataset(), compressor, config).run()
+
+
+class TestBackendPlumbing:
+    def test_known_backends(self):
+        assert WORKER_BACKENDS == ("serial", "process")
+        for name in WORKER_BACKENDS:
+            assert validate_worker_backend(name) == name
+
+    def test_unknown_backend_rejected_with_known_list(self):
+        with pytest.raises(ValueError, match="unknown worker backend"):
+            validate_worker_backend("threads")
+        with pytest.raises(ValueError, match="serial"):
+            validate_worker_backend("threads")
+
+    def test_config_validates_backend(self):
+        with pytest.raises(ValueError, match="unknown worker backend"):
+            TrainerConfig(worker_backend="gpu")
+
+    def test_factory_builds_right_type(self):
+        assert isinstance(create_worker_backend("serial"), SerialCompressionBackend)
+        assert isinstance(create_worker_backend("process"), ProcessCompressionBackend)
+
+    def test_process_backend_rejects_nonpositive_pool(self):
+        with pytest.raises(ValueError):
+            ProcessCompressionBackend(processes=0)
+
+    def test_serial_backend_preserves_worker_order(self):
+        backend = create_worker_backend("serial")
+        gradients = [realistic_gradient(512, seed=s) for s in range(3)]
+        compressors = [create_compressor("topk") for _ in gradients]
+        out = backend.compress_all(compressors, gradients, 0.1)
+        assert len(out) == 3
+        for (result, compressor), original, gradient in zip(out, compressors, gradients):
+            assert compressor is original
+            np.testing.assert_array_equal(result.sparse.values, gradient[result.sparse.indices])
+
+    def test_close_is_idempotent(self):
+        for name in WORKER_BACKENDS:
+            backend = create_worker_backend(name)
+            backend.close()
+            backend.close()
+
+
+class TestProcessBackendDeterminism:
+    """``worker_backend="process"`` must reproduce serial metrics bit-for-bit.
+
+    Tasks ship whole compressors through the pool and the trainer stores the
+    returned (state-evolved) instances back, so adaptive state — DGC/random-k
+    RNG streams included — follows the exact serial trajectory.  Records are
+    frozen dataclasses, so ``==`` compares every field exactly.
+    """
+
+    @pytest.mark.parametrize("num_workers", [2, 4])
+    def test_metrics_identical_to_serial(self, num_workers):
+        serial = _run("serial", num_workers=num_workers)
+        process = _run("process", num_workers=num_workers)
+        assert serial.metrics.records == process.metrics.records
+
+    def test_adaptive_compressor_state_round_trips(self):
+        # sidco-e adapts its stage controller across iterations; identical
+        # metrics mean the controller state survived the pickle round-trips.
+        serial = _run("serial", num_workers=2, compressor="sidco-e")
+        process = _run("process", num_workers=2, compressor="sidco-e")
+        assert serial.metrics.records == process.metrics.records
+
+    def test_pool_is_released_after_run(self):
+        config = TrainerConfig(
+            num_workers=2,
+            batch_size=8,
+            iterations=3,
+            ratio=0.01,
+            lr=0.05,
+            seed=0,
+            compute_seconds=0.01,
+            worker_backend="process",
+        )
+        trainer = DistributedTrainer(_model(), _dataset(), "topk", config)
+        trainer.run()
+        assert trainer.backend._pool is None

@@ -65,11 +65,24 @@ class TestGenericBucketing:
         assert sum(nnz) == result.sparse.nnz
         assert sum(payload) == result.sparse.payload_bytes()
 
-    def test_ops_concatenate_per_bucket_traces(self, small_gradient):
+    def test_scalar_loop_ops_concatenate_per_bucket_traces(self, small_gradient):
         single = TopK().compress(small_gradient, 0.05)
-        bucketed = CompressionPipeline(TopK(), bucket_bytes=4000).compress(small_gradient, 0.05)
+        bucketed = CompressionPipeline(TopK(), bucket_bytes=4000, vectorized=False).compress(
+            small_gradient, 0.05
+        )
         num_buckets = bucketed.metadata["num_buckets"]
         assert len(bucketed.ops) == num_buckets * len(single.ops)
+
+    def test_vectorized_ops_are_fused_across_buckets(self, small_gradient):
+        # The batched path launches each primitive once over the whole vector
+        # rather than once per bucket: a constant-length trace whose sizes
+        # still cover every element.
+        single = TopK().compress(small_gradient, 0.05)
+        fused = CompressionPipeline(TopK(), bucket_bytes=4000).compress(small_gradient, 0.05)
+        assert fused.metadata["num_buckets"] > 1
+        assert len(fused.ops) == len(single.ops)
+        assert {op.op for op in fused.ops} == {op.op for op in single.ops}
+        assert all(op.size == small_gradient.size for op in fused.ops)
 
 
 class TestSIDCoBucketing:

@@ -1,0 +1,197 @@
+"""Registry-wide batched fitting (``fit_all_buckets``) against the scalar loop.
+
+Every registry compressor's vectorized bucket-axis path must reproduce the
+per-bucket scalar loop bit-for-bit: same indices, same values, same per-bucket
+thresholds and counts, and the same evolution of cross-call adaptive state
+(RNG streams, adaptive threshold scales, SIDCo stage controllers).  The only
+tolerated divergence is argpartition tie-breaking on exactly-equal magnitudes,
+which the realistic float gradients used here make measure-zero.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compressors import BucketedFit, Compressor, available_compressors, create_compressor
+from repro.gradients import realistic_gradient
+from repro.pipeline import CompressionPipeline
+
+#: Every registry name that is a raw compressor (the ``sidco-*-bucketed``
+#: entries are already pipelines; they are exercised via the vectorized flag
+#: in :class:`TestBucketedRegistryVariants`).
+PLAIN_NAMES = [n for n in available_compressors() if not n.endswith("-bucketed")]
+
+
+def _twin_pipelines(name: str, bucket_bytes: int = 4000) -> tuple[CompressionPipeline, CompressionPipeline]:
+    """Two pipelines over independently built (seed-twin) compressors."""
+    return (
+        CompressionPipeline(create_compressor(name), bucket_bytes=bucket_bytes, vectorized=True),
+        CompressionPipeline(create_compressor(name), bucket_bytes=bucket_bytes, vectorized=False),
+    )
+
+
+def _thresholds_array(meta: dict) -> np.ndarray:
+    raw = meta["bucket_thresholds"]
+    return np.asarray([np.nan if t is None else float(t) for t in raw], dtype=np.float64)
+
+
+def _assert_results_match(rv, rl, *, threshold_rtol: float = 0.0):
+    """Selections are always bit-for-bit; thresholds too, except for SIDCo.
+
+    SIDCo's batched estimator reassociates the stage-tail reductions (one
+    fused pass over all buckets), so its thresholds match the scalar loop to
+    ``rtol=1e-9`` rather than exactly — the documented tolerance from the
+    PR-1 fast path.  Every other compressor replays the scalar float ops in
+    order and must be exact.
+    """
+    np.testing.assert_array_equal(rv.sparse.indices, rl.sparse.indices)
+    np.testing.assert_array_equal(rv.sparse.values, rl.sparse.values)
+    assert rv.sparse.dense_size == rl.sparse.dense_size
+    assert rv.target_ratio == rl.target_ratio
+    assert rv.metadata["bucket_nnz"] == rl.metadata["bucket_nnz"]
+    if "bucket_thresholds" in rv.metadata and "bucket_thresholds" in rl.metadata:
+        tv, tl = _thresholds_array(rv.metadata), _thresholds_array(rl.metadata)
+        if threshold_rtol:
+            np.testing.assert_allclose(tv, tl, rtol=threshold_rtol)
+        else:
+            np.testing.assert_array_equal(tv, tl)
+    if rl.threshold is None:
+        assert rv.threshold is None
+    else:
+        np.testing.assert_allclose(rv.threshold, rl.threshold, rtol=max(threshold_rtol, 1e-12))
+
+
+def _rtol_for(name: str) -> float:
+    return 1e-9 if name.startswith("sidco") else 0.0
+
+
+@pytest.mark.parametrize("name", PLAIN_NAMES)
+class TestMatchesScalarLoopRegistryWide:
+    def test_single_call_matches_bit_for_bit(self, name, small_gradient):
+        vectorized, loop = _twin_pipelines(name)
+        rv = vectorized.compress(small_gradient, 0.02)
+        rl = loop.compress(small_gradient, 0.02)
+        assert rv.metadata["num_buckets"] > 1
+        _assert_results_match(rv, rl, threshold_rtol=_rtol_for(name))
+
+    def test_adaptive_state_stays_aligned_across_calls(self, name):
+        # Stateful compressors (RNG streams, adaptive scales, stage
+        # controllers) must evolve identically under both paths, so every
+        # call in a sequence of distinct gradients keeps matching.
+        vectorized, loop = _twin_pipelines(name)
+        for call in range(4):
+            gradient = realistic_gradient(12_288, seed=100 + call)
+            rv = vectorized.compress(gradient, 0.01)
+            rl = loop.compress(gradient, 0.01)
+            _assert_results_match(rv, rl, threshold_rtol=_rtol_for(name))
+
+    def test_ragged_tail_bucket_matches(self, name):
+        # 20 full buckets of 1000 plus a 37-element tail.
+        gradient = realistic_gradient(20_037, seed=17)
+        vectorized, loop = _twin_pipelines(name)
+        rv = vectorized.compress(gradient, 0.02)
+        rl = loop.compress(gradient, 0.02)
+        assert rv.metadata["bucket_sizes"][-1] == 37
+        _assert_results_match(rv, rl, threshold_rtol=_rtol_for(name))
+
+    def test_full_ratio_matches(self, name, small_gradient):
+        if name.startswith("sidco"):
+            pytest.skip("SIDCo's SID fit rejects delta=1.0 by contract")
+        vectorized, loop = _twin_pipelines(name)
+        _assert_results_match(
+            vectorized.compress(small_gradient, 1.0),
+            loop.compress(small_gradient, 1.0),
+            threshold_rtol=_rtol_for(name),
+        )
+
+
+class TestAdaptiveStateEquality:
+    def test_hard_threshold_scale_identical_after_calls(self, small_gradient):
+        vectorized, loop = _twin_pipelines("hard_threshold")
+        for _ in range(5):
+            vectorized.compress(small_gradient, 0.01)
+            loop.compress(small_gradient, 0.01)
+        # The batched path replays the sequential per-bucket scale recurrence
+        # exactly, so the internal state is bit-identical, not just close.
+        assert vectorized.compressor._scale == loop.compressor._scale
+
+    @pytest.mark.parametrize("name", ["dgc", "randomk"])
+    def test_rng_stream_identical_after_calls(self, name, small_gradient):
+        vectorized, loop = _twin_pipelines(name)
+        for _ in range(3):
+            vectorized.compress(small_gradient, 0.02)
+            loop.compress(small_gradient, 0.02)
+        # Both generators must sit at the same point of the same stream.
+        assert (
+            vectorized.compressor._rng.bit_generator.state
+            == loop.compressor._rng.bit_generator.state
+        )
+
+
+class TestBucketedRegistryVariants:
+    @pytest.mark.parametrize("name", [n for n in available_compressors() if n.endswith("-bucketed")])
+    def test_bucketed_registry_names_match_their_scalar_loop(self, name, medium_gradient):
+        rv = create_compressor(name, bucket_bytes=32 * 1024, vectorized=True).compress(
+            medium_gradient, 0.01
+        )
+        rl = create_compressor(name, bucket_bytes=32 * 1024, vectorized=False).compress(
+            medium_gradient, 0.01
+        )
+        np.testing.assert_array_equal(rv.sparse.indices, rl.sparse.indices)
+        np.testing.assert_array_equal(rv.sparse.values, rl.sparse.values)
+        assert rv.metadata["bucket_nnz"] == rl.metadata["bucket_nnz"]
+
+
+class TestFitContract:
+    def test_base_compressor_declines_by_default(self, small_gradient):
+        class Opaque(Compressor):
+            name = "opaque"
+
+            def compress(self, gradient, ratio):
+                return create_compressor("topk").compress(gradient, ratio)
+
+        pipeline = CompressionPipeline(Opaque(), bucket_bytes=4000, vectorized=True)
+        layout = pipeline.layout_for(small_gradient.size)
+        assert Opaque().fit_all_buckets(small_gradient, layout, 0.02) is None
+        # The pipeline silently falls back to the per-bucket scalar loop.
+        result = pipeline.compress(small_gradient, 0.02)
+        assert result.metadata["num_buckets"] == layout.num_buckets
+        assert "vectorized" not in result.metadata
+
+    @pytest.mark.parametrize("name", [n for n in PLAIN_NAMES if not n.startswith("sidco")])
+    def test_fit_is_bucket_major_and_consistent(self, name, small_gradient):
+        pipeline = CompressionPipeline(create_compressor(name), bucket_bytes=4000)
+        layout = pipeline.layout_for(small_gradient.size)
+        fit = pipeline.compressor.fit_all_buckets(small_gradient, layout, 0.02)
+        assert isinstance(fit, BucketedFit)
+        nnz = np.asarray(fit.bucket_nnz, dtype=np.int64)
+        assert nnz.size == layout.num_buckets
+        assert int(nnz.sum()) == fit.indices.size == fit.values.size
+        assert len(list(fit.bucket_thresholds)) == layout.num_buckets
+        # Indices are bucket-major: each bucket's block stays inside its bounds.
+        offset = 0
+        for i in range(layout.num_buckets):
+            start, stop = layout.bounds(i)
+            block = fit.indices[offset : offset + int(nnz[i])]
+            assert block.size == int(nnz[i])
+            if block.size:
+                assert block.min() >= start and block.max() < stop
+            offset += int(nnz[i])
+
+
+class TestPropertyBasedEquivalence:
+    @given(
+        name=st.sampled_from([n for n in PLAIN_NAMES if n != "none"]),
+        size=st.integers(min_value=64, max_value=9000),
+        ratio=st.sampled_from([0.5, 0.1, 0.02]),
+        seed=st.integers(min_value=0, max_value=500),
+        bucket_bytes=st.sampled_from([512, 2048, 6400]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_random_shapes_and_ratios_match(self, name, size, ratio, seed, bucket_bytes):
+        gradient = realistic_gradient(size, seed=seed)
+        vectorized, loop = _twin_pipelines(name, bucket_bytes=bucket_bytes)
+        rv = vectorized.compress(gradient, ratio)
+        rl = loop.compress(gradient, ratio)
+        _assert_results_match(rv, rl, threshold_rtol=_rtol_for(name))

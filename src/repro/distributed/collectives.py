@@ -28,10 +28,12 @@ def allreduce_dense(gradients: list[np.ndarray]) -> CollectiveResult:
     """Average dense gradients (ring all-reduce semantics)."""
     if not gradients:
         raise ValueError("need at least one gradient")
-    stacked = np.stack([np.asarray(g, dtype=np.float64).ravel() for g in gradients])
-    if len({g.size for g in map(np.ravel, gradients)}) != 1:
+    flat = [np.asarray(g, dtype=np.float64).ravel() for g in gradients]
+    # Check dimensions before np.stack, which would otherwise raise its own
+    # generic shape error first and shadow this message.
+    if len({g.size for g in flat}) != 1:
         raise ValueError("all gradients must have the same dimension")
-    mean = stacked.mean(axis=0)
+    mean = np.stack(flat).mean(axis=0)
     return CollectiveResult(
         aggregated=mean,
         payload_bytes_per_worker=float(mean.size * FLOAT_BYTES),

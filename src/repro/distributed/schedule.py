@@ -57,8 +57,14 @@ import math
 from bisect import bisect_right, insort
 from dataclasses import dataclass
 
+import numpy as np
+
 #: Recognised overlap policies, weakest to strongest.
 OVERLAP_POLICIES: tuple[str, ...] = ("none", "comm", "comm+compress")
+
+#: Scheduler implementations: the scalar reference loop and the batched-NumPy
+#: core that reproduces it bit-for-bit.
+SCHEDULER_BACKENDS: tuple[str, ...] = ("loop", "vectorized")
 
 
 def validate_overlap(policy: str) -> str:
@@ -66,6 +72,15 @@ def validate_overlap(policy: str) -> str:
     if policy not in OVERLAP_POLICIES:
         raise ValueError(f"unknown overlap policy {policy!r}; known: {list(OVERLAP_POLICIES)}")
     return policy
+
+
+def validate_scheduler_backend(backend: str) -> str:
+    """Return ``backend`` if it is a recognised scheduler backend, else raise."""
+    if backend not in SCHEDULER_BACKENDS:
+        raise ValueError(
+            f"unknown scheduler backend {backend!r}; known: {list(SCHEDULER_BACKENDS)}"
+        )
+    return backend
 
 
 def validate_cross_bucket(cross_bucket_pipeline: bool) -> bool:
@@ -233,20 +248,26 @@ class IterationSchedule:
         the window from the first to the last communication event — the
         quantity cross-bucket pipelining raises by letting one fabric work
         while another bucket occupies the other.
+
+        A schedule with no communication events at all (every bucket empty)
+        reports no lanes: the empty dict, never an ``inf``/NaN window.
         """
         busy: dict[str, float] = {}
-        first = math.inf
+        first: float | None = None
         last = 0.0
         for event in self.events:
             if event.comm_end <= event.comm_start and not event.phases:
                 continue
-            first = min(first, event.comm_start)
+            first = event.comm_start if first is None else min(first, event.comm_start)
             last = max(last, event.comm_end)
             if event.phases:
                 for phase in event.phases:
                     busy[phase.link] = busy.get(phase.link, 0.0) + (phase.end - phase.start)
             else:
                 busy[""] = busy.get("", 0.0) + (event.comm_end - event.comm_start)
+        if first is None:
+            # No event contributed: the window is undefined, not [inf, 0].
+            return {}
         window = max(last - first, 0.0)
         return {
             link: {
@@ -256,6 +277,114 @@ class IterationSchedule:
             }
             for link, seconds in sorted(busy.items())
         }
+
+
+@dataclass(frozen=True, eq=False)
+class ScheduleArrays:
+    """Array-backed iteration schedule — the vectorized backend's native form.
+
+    Semantically the same trace as :class:`IterationSchedule`, held as
+    ``(bucket,)`` and ``(bucket, phase)`` NumPy arrays in bucket-index order
+    instead of per-bucket event objects: for a fixed topology every bucket's
+    collective has the same phase structure, so one ``phase_names``/
+    ``phase_links`` template shared across rows replaces thousands of
+    :class:`PhaseEvent` constructions per simulated iteration.  Scalars and
+    arrays are bit-identical to the loop backend's; :meth:`to_schedule`
+    materializes the exact :class:`IterationSchedule` the loop would have
+    produced (pinned by the golden schedule tests), so anything needing the
+    object trace can convert losslessly.
+
+    The duck-typed reporting surface (``policy``, ``cross_bucket``,
+    ``iteration_seconds``, ``overlap_saving``, ``link_utilization()``...)
+    matches :class:`IterationSchedule`, so harness formatters accept either.
+    """
+
+    policy: str
+    compute_seconds: float
+    update_seconds: float
+    iteration_seconds: float
+    serialized_seconds: float
+    cross_bucket: bool
+    #: (B,) per-bucket gradient-ready / compression / communication times.
+    ready: np.ndarray
+    compress_start: np.ndarray
+    compress_end: np.ndarray
+    comm_start: np.ndarray
+    comm_end: np.ndarray
+    #: Shared per-phase template: names and fabric lanes of the P columns.
+    phase_names: tuple[str, ...]
+    phase_links: tuple[str, ...]
+    #: (B, P) absolute phase placements.
+    phase_start: np.ndarray
+    phase_end: np.ndarray
+
+    @property
+    def num_buckets(self) -> int:
+        return len(self.ready)
+
+    @property
+    def total_compress_seconds(self) -> float:
+        return sum((self.compress_end - self.compress_start).tolist())
+
+    @property
+    def total_comm_seconds(self) -> float:
+        return sum((self.comm_end - self.comm_start).tolist())
+
+    @property
+    def overlap_saving(self) -> float:
+        """Fraction of the serialised iteration the overlap policy saved."""
+        if self.serialized_seconds <= 0.0:
+            return 0.0
+        return 1.0 - self.iteration_seconds / self.serialized_seconds
+
+    @property
+    def events(self) -> tuple[BucketEvent, ...]:
+        """The materialized per-bucket event objects (built on demand)."""
+        return self.to_schedule().events
+
+    def link_utilization(self) -> dict[str, dict[str, float]]:
+        """Per-link busy time over the network's active window, by fabric.
+
+        Delegates to the materialized trace so the numbers are bit-identical
+        to the loop backend's — utilization is a reporting call, not part of
+        the scheduling hot path.
+        """
+        return self.to_schedule().link_utilization()
+
+    def to_schedule(self) -> IterationSchedule:
+        """Materialize the bit-identical :class:`IterationSchedule` object trace."""
+        num_phases = len(self.phase_names)
+        events = []
+        for b in range(self.num_buckets):
+            phases = tuple(
+                PhaseEvent(
+                    name=self.phase_names[p],
+                    start=float(self.phase_start[b, p]),
+                    end=float(self.phase_end[b, p]),
+                    link=self.phase_links[p],
+                )
+                for p in range(num_phases)
+            )
+            events.append(
+                BucketEvent(
+                    index=b,
+                    ready=float(self.ready[b]),
+                    compress_start=float(self.compress_start[b]),
+                    compress_end=float(self.compress_end[b]),
+                    comm_start=float(self.comm_start[b]),
+                    comm_end=float(self.comm_end[b]),
+                    phases=phases,
+                )
+            )
+        return IterationSchedule(
+            policy=self.policy,
+            compute_seconds=self.compute_seconds,
+            update_seconds=self.update_seconds,
+            events=tuple(events),
+            iteration_seconds=self.iteration_seconds,
+            serialized_seconds=self.serialized_seconds,
+            cross_bucket=self.cross_bucket,
+        )
 
 
 def _comm_layout(task: BucketTask) -> list[tuple[float, float, str]]:
@@ -464,6 +593,145 @@ def simulate_iteration(
         iteration_seconds=iteration,
         serialized_seconds=serialized,
         cross_bucket=cross_bucket_pipeline,
+    )
+
+
+def simulate_iteration_arrays(
+    *,
+    ready_seconds,
+    compress_seconds,
+    phase_seconds,
+    phase_names: tuple[str, ...],
+    phase_links: tuple[str, ...],
+    compute_seconds: float,
+    overlap: str = "none",
+    update_seconds: float = 0.0,
+    cross_bucket_pipeline: bool = False,
+) -> ScheduleArrays:
+    """Batched-NumPy :func:`simulate_iteration`, bit-identical to the loop.
+
+    Takes the per-bucket workload as arrays — ``ready_seconds`` and
+    ``compress_seconds`` of shape ``(B,)`` plus a ``(B, P)`` matrix of serial
+    per-phase communication durations sharing one ``phase_names``/
+    ``phase_links`` template (the shape every batched collective pricing
+    produces; each bucket's total communication time is its row's cumulative
+    sum) — and returns the same schedule the loop backend would build from the
+    equivalent :class:`BucketTask` list, as :class:`ScheduleArrays`.
+
+    Bit-for-bit equality with the loop is a hard contract, which dictates the
+    implementation split: the sequential recurrences (compression stream,
+    serial network lane, template fitting) stay scalar Python-float loops —
+    reassociating them would change IEEE rounding — while everything
+    elementwise (phase offsets/cumsums, absolute phase placement) runs as
+    NumPy matrix ops, whose per-element operation order matches the scalar
+    expressions exactly.  The speedup comes from skipping the loop backend's
+    per-bucket object churn (``CollectivePhase``/``BucketTask`` validation/
+    ``PhaseEvent``), not from changing the arithmetic.
+    """
+    validate_overlap(overlap)
+    validate_cross_bucket(cross_bucket_pipeline)
+    if compute_seconds < 0.0 or update_seconds < 0.0:
+        raise ValueError("compute_seconds and update_seconds must be non-negative")
+    ready = np.asarray(ready_seconds, dtype=float)
+    compress = np.asarray(compress_seconds, dtype=float)
+    num_buckets = ready.shape[0]
+    phase_seconds = np.asarray(phase_seconds, dtype=float)
+    if phase_seconds.ndim != 2 or phase_seconds.shape[0] != num_buckets:
+        raise ValueError(
+            f"phase_seconds must be (num_buckets, num_phases), got {phase_seconds.shape}"
+        )
+    num_phases = phase_seconds.shape[1]
+    if len(phase_names) != num_phases or len(phase_links) != num_phases:
+        raise ValueError("phase_names and phase_links must match phase_seconds columns")
+    if compress.shape != (num_buckets,):
+        raise ValueError("compress_seconds must match ready_seconds in shape")
+    if ready.size and (ready.min() < 0.0 or compress.min() < 0.0 or phase_seconds.min() < 0.0):
+        raise ValueError("per-bucket times must be non-negative")
+
+    # Serial phase offsets inside each bucket's occupancy: the cursor walk is
+    # a cumulative sum, so offset[:, p] is the end of column p-1.
+    ends = np.cumsum(phase_seconds, axis=1)
+    offsets = np.zeros_like(phase_seconds)
+    if num_phases:
+        offsets[:, 1:] = ends[:, :-1]
+        comm = ends[:, -1]
+    else:
+        comm = np.zeros(num_buckets)
+
+    ready_list = ready.tolist()
+    compress_list = compress.tolist()
+    comm_list = comm.tolist()
+    order = sorted(range(num_buckets), key=lambda i: (ready_list[i], i))
+
+    # Compression stream: the same sequential max/add recurrence as the loop,
+    # on plain Python floats (cheap at O(B), and exactly associative with it).
+    compress_start_list = [0.0] * num_buckets
+    compress_end_list = [0.0] * num_buckets
+    compress_free = 0.0
+    for i in order:
+        if overlap == "comm+compress":
+            gate = ready_list[i]
+        else:
+            gate = max(compute_seconds, ready_list[i])
+        start = max(gate, compress_free)
+        end = start + compress_list[i]
+        compress_start_list[i] = start
+        compress_end_list[i] = end
+        compress_free = end
+
+    # Network lane(s): serial occupancy recurrence, or the same rigid
+    # per-link template fitting the loop backend uses.
+    all_compressed = compress_free
+    comm_start_list = [0.0] * num_buckets
+    comm_end_list = [0.0] * num_buckets
+    comm_free = 0.0
+    link_spans: dict[str, list[tuple[float, float]]] = {}
+    offsets_rows = offsets.tolist() if cross_bucket_pipeline else None
+    seconds_rows = phase_seconds.tolist() if cross_bucket_pipeline else None
+    for i in order:
+        gate = all_compressed if overlap == "none" else compress_end_list[i]
+        if cross_bucket_pipeline:
+            if num_phases:
+                layout = list(zip(offsets_rows[i], seconds_rows[i], phase_links))
+            else:
+                layout = [(0.0, comm_list[i], "")]
+            start = _earliest_template_fit(layout, gate, link_spans)
+            for offset, seconds, link in layout:
+                if seconds > 0.0:
+                    insort(
+                        link_spans.setdefault(link, []),
+                        (start + offset, start + offset + seconds),
+                    )
+        else:
+            start = max(gate, comm_free)
+        end = start + comm_list[i]
+        comm_free = end
+        comm_start_list[i] = start
+        comm_end_list[i] = end
+
+    comm_start = np.asarray(comm_start_list)
+    phase_start = comm_start[:, None] + offsets
+    last_comm = max(comm_end_list) if num_buckets else 0.0
+    iteration = max(compute_seconds, compress_free, last_comm) + update_seconds
+    serialized = (
+        compute_seconds + sum(compress_list) + sum(comm_list) + update_seconds
+    )
+    return ScheduleArrays(
+        policy=overlap,
+        compute_seconds=compute_seconds,
+        update_seconds=update_seconds,
+        iteration_seconds=iteration,
+        serialized_seconds=serialized,
+        cross_bucket=cross_bucket_pipeline,
+        ready=ready,
+        compress_start=np.asarray(compress_start_list),
+        compress_end=np.asarray(compress_end_list),
+        comm_start=comm_start,
+        comm_end=np.asarray(comm_end_list),
+        phase_names=tuple(phase_names),
+        phase_links=tuple(phase_links),
+        phase_start=phase_start,
+        phase_end=phase_start + phase_seconds,
     )
 
 

@@ -25,6 +25,8 @@ from __future__ import annotations
 import warnings
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..compressors.base import CompressionResult
 from ..perfmodel.costs import DeviceProfile, distribute_cost
 from ..tensor.sparse import FLOAT_BYTES, INDEX_BYTES
@@ -32,12 +34,15 @@ from .network import NetworkModel
 from .schedule import (
     BucketTask,
     IterationSchedule,
+    ScheduleArrays,
     ready_times_from_fractions,
     simulate_iteration,
+    simulate_iteration_arrays,
     validate_cross_bucket,
     validate_overlap,
+    validate_scheduler_backend,
 )
-from .topology import CollectiveCost, CollectiveModel
+from .topology import CollectiveCost, CollectiveModel, PhaseTable
 
 #: One-shot-per-category guard so a long training run does not spam the
 #: inconsistent-metadata warning every iteration, while a *different* kind of
@@ -53,6 +58,18 @@ def _warn_bucket_fallback_once(category: str, reason: str) -> None:
             stacklevel=3,
         )
         _BUCKET_FALLBACK_WARNED.add(category)
+
+
+def reset_bucket_fallback_warnings() -> None:
+    """Clear the warn-once guard so the next misconfiguration warns again.
+
+    The guard is module-global process state: without a reset, a warning
+    consumed (or swallowed) by one caller hides the same misconfiguration from
+    every later caller in the process — including unrelated tests.  Test
+    suites should call this between cases (the repo does so from an autouse
+    fixture).
+    """
+    _BUCKET_FALLBACK_WARNED.clear()
 
 
 def _payload_density(payload_bytes: float, dense_elements: float) -> float | None:
@@ -73,6 +90,43 @@ def _payload_weighted_dedup_ratio(bucket_costs: list["CollectiveCost"]) -> float
     if total <= 0.0:
         return 1.0
     return float(sum(w * cost.dedup_ratio for w, cost in zip(weights, bucket_costs)) / total)
+
+
+def _table_dedup_ratio(table: "PhaseTable") -> float:
+    """:func:`_payload_weighted_dedup_ratio` over a batched phase table.
+
+    Replays the per-cost arithmetic on the table's rows — Python sums in
+    phase order, then the same weighted mean — so the result is bit-identical
+    to pricing each bucket through :class:`CollectiveCost` objects.
+    """
+    weights = [sum(row) for row in table.volumes.tolist()]
+    total = sum(weights)
+    if total <= 0.0:
+        return 1.0
+    ratios = table.dedup_ratios.tolist()
+    return float(sum(w * r for w, r in zip(weights, ratios)) / total)
+
+
+def _bucket_layout(metadata: dict, num_buckets: int) -> tuple[list, list]:
+    """Bucket sizes and gradient-ready fractions for scheduling, with fallbacks.
+
+    Sizes fall back to an equal split when the layout is unknown; fractions
+    fall back to reverse-order readiness derived from the sizes (backprop
+    fills the flat gradient back-to-front, so bucket *i* is ready once all
+    elements from its start offset onwards have gradients).
+    """
+    sizes = metadata.get("bucket_sizes")
+    if sizes is None or len(sizes) != num_buckets:
+        sizes = [1] * num_buckets  # equal split when the layout is unknown
+    fractions = metadata.get("bucket_ready_fractions")
+    if fractions is None or len(fractions) != num_buckets:
+        total = float(sum(sizes))
+        acc = 0.0
+        fractions = []
+        for size in sizes:
+            fractions.append((total - acc) / total if total > 0.0 else 1.0)
+            acc += size
+    return sizes, fractions
 
 
 def _comm_phase_entries(cost: "CollectiveCost") -> tuple[tuple, ...]:
@@ -109,7 +163,7 @@ class IterationTiming:
     communication: float
     update: float = 0.0
     overlap: str = "none"
-    schedule: IterationSchedule | None = None
+    schedule: IterationSchedule | ScheduleArrays | None = None
     #: Payload-weighted achieved sparse-dedup ratio across the iteration's
     #: collectives (concatenated / deduplicated node-aggregate size); 1.0
     #: when no dedup model is configured or nothing could be deduplicated.
@@ -175,6 +229,15 @@ class TimelineModel:
     #: keeps the serial whole-occupancy network lane (the PR-4 scheduler,
     #: reproduced bit-for-bit).
     cross_bucket_pipeline: bool = False
+    #: Scheduler implementation for bucketed iterations: ``"loop"`` runs the
+    #: scalar reference simulator over per-bucket objects; ``"vectorized"``
+    #: prices all buckets as one batched phase table and schedules them with
+    #: :func:`~repro.distributed.schedule.simulate_iteration_arrays`.  The two
+    #: produce bit-identical timings/schedules; ``"vectorized"`` silently
+    #: defers to the loop whenever the batched contract cannot hold (mixed or
+    #: unbucketed metadata, chunk pipelining, algorithms without batched
+    #: pricing), so it is always safe to enable.
+    scheduler_backend: str = "loop"
 
     def __post_init__(self) -> None:
         if self.compute_seconds < 0.0 or self.update_seconds < 0.0:
@@ -187,6 +250,7 @@ class TimelineModel:
             raise ValueError("dimension_scale must be positive")
         validate_overlap(self.overlap)
         validate_cross_bucket(self.cross_bucket_pipeline)
+        validate_scheduler_backend(self.scheduler_backend)
         if self.collective is None:
             object.__setattr__(
                 self, "collective", CollectiveModel.flat(self.network, self.num_workers)
@@ -241,6 +305,10 @@ class TimelineModel:
             self.cross_bucket_pipeline if cross_bucket_pipeline is None else cross_bucket_pipeline
         )
         compression = max(self.device.trace_cost(self._scaled_ops(r)) for r in worker_results)
+        if self.scheduler_backend == "vectorized":
+            timing = self._vectorized_iteration(worker_results, compression, policy, cross_bucket)
+            if timing is not None:
+                return timing
         bucket_costs = self.bucket_communication_costs(worker_results)
         if bucket_costs is not None:
             comm = float(sum(cost.total for cost in bucket_costs))
@@ -269,6 +337,113 @@ class TimelineModel:
             cross_bucket_pipeline=schedule.cross_bucket if schedule is not None else False,
         )
 
+    def _vectorized_iteration(
+        self,
+        worker_results: list[CompressionResult],
+        compression: float,
+        policy: str,
+        cross_bucket: bool,
+    ) -> IterationTiming | None:
+        """Batched-array pricing and scheduling; ``None`` defers to the loop path.
+
+        Declines — returning ``None`` so the loop path (which owns the
+        fallback warnings and single-payload pricing) handles the call —
+        whenever the batched contract does not hold: unbucketed, mixed or
+        count-mismatched worker metadata, an empty bucket list, or a
+        collective that cannot price payload batches (chunk pipelining,
+        algorithms without ``batched_allgather``).  When it does run, every
+        number matches the loop path bit-for-bit: the batched phase table
+        equals the per-bucket :class:`CollectiveCost` objects and the array
+        scheduler replays the loop scheduler's arithmetic.
+        """
+        payload_lists = [r.metadata.get("bucket_payload_bytes") for r in worker_results]
+        if any(p is None for p in payload_lists):
+            return None
+        if len({len(p) for p in payload_lists}) != 1:
+            return None
+        num_buckets = len(payload_lists[0])
+        if num_buckets == 0:
+            return None
+        per_bucket = [max(worker[i] for worker in payload_lists) for i in range(num_buckets)]
+        sizes = worker_results[0].metadata.get("bucket_sizes")
+        if sizes is None or len(sizes) != num_buckets:
+            sizes = [0] * num_buckets  # unknown layout: density (and dedup) unavailable
+        densities = [_payload_density(payload, size) for payload, size in zip(per_bucket, sizes)]
+        payloads = np.asarray(per_bucket, dtype=float) * self.dimension_scale
+        table = self.collective.allgather_phase_table(payloads, densities)
+        if table is None:
+            return None
+        communication = float(sum(table.totals.tolist()))
+        dedup_ratio = _table_dedup_ratio(table)
+        schedule = None
+        if policy != "none":
+            layout_sizes, fractions = _bucket_layout(worker_results[0].metadata, num_buckets)
+            schedule = simulate_iteration_arrays(
+                ready_seconds=ready_times_from_fractions(fractions, self.compute_seconds),
+                compress_seconds=distribute_cost(compression, layout_sizes),
+                phase_seconds=table.seconds,
+                phase_names=table.names,
+                phase_links=table.links,
+                compute_seconds=self.compute_seconds,
+                overlap=policy,
+                update_seconds=self.update_seconds,
+                cross_bucket_pipeline=cross_bucket,
+            )
+        return IterationTiming(
+            compute=self.compute_seconds,
+            compression=compression,
+            communication=communication,
+            update=self.update_seconds,
+            overlap=policy,
+            schedule=schedule,
+            dedup_ratio=dedup_ratio,
+            cross_bucket_pipeline=schedule.cross_bucket if schedule is not None else False,
+        )
+
+    def schedule_iteration(
+        self,
+        worker_results: list[CompressionResult],
+        *,
+        compression_seconds: float | None = None,
+        overlap: str | None = None,
+        cross_bucket_pipeline: bool | None = None,
+    ) -> IterationSchedule | ScheduleArrays:
+        """Build just the iteration schedule for bucketed worker results.
+
+        This is the scheduler hot path the throughput benchmark times:
+        pricing the per-bucket collectives and placing them on the lanes,
+        routed by ``scheduler_backend``.  ``compression_seconds`` may be
+        passed precomputed (e.g. once per sweep) to keep device-model pricing
+        out of the timed region.  Raises for ``overlap="none"`` (no schedule
+        exists there) and for unbucketed worker results.
+        """
+        if not worker_results:
+            raise ValueError("need at least one worker result")
+        policy = validate_overlap(self.overlap if overlap is None else overlap)
+        if policy == "none":
+            raise ValueError(
+                'overlap="none" builds no schedule; use compressed_iteration for the flat sum'
+            )
+        cross_bucket = (
+            self.cross_bucket_pipeline if cross_bucket_pipeline is None else cross_bucket_pipeline
+        )
+        if compression_seconds is None:
+            compression_seconds = max(
+                self.device.trace_cost(self._scaled_ops(r)) for r in worker_results
+            )
+        if self.scheduler_backend == "vectorized":
+            timing = self._vectorized_iteration(
+                worker_results, compression_seconds, policy, cross_bucket
+            )
+            if timing is not None and timing.schedule is not None:
+                return timing.schedule
+        bucket_costs = self.bucket_communication_costs(worker_results)
+        if bucket_costs is None:
+            raise ValueError("worker results carry no per-bucket payloads; nothing to schedule")
+        return self._bucket_schedule(
+            worker_results[0].metadata, bucket_costs, compression_seconds, policy, cross_bucket
+        )
+
     def _bucket_schedule(
         self,
         metadata: dict,
@@ -279,20 +454,7 @@ class TimelineModel:
     ) -> IterationSchedule:
         """Place per-bucket compress/all-gather jobs on the event timeline."""
         num_buckets = len(bucket_costs)
-        sizes = metadata.get("bucket_sizes")
-        if sizes is None or len(sizes) != num_buckets:
-            sizes = [1] * num_buckets  # equal split when the layout is unknown
-        fractions = metadata.get("bucket_ready_fractions")
-        if fractions is None or len(fractions) != num_buckets:
-            # Reverse-order readiness from bucket sizes: backprop fills the
-            # flat gradient back-to-front, so bucket i is ready once all
-            # elements from its start offset onwards have gradients.
-            total = float(sum(sizes))
-            acc = 0.0
-            fractions = []
-            for size in sizes:
-                fractions.append((total - acc) / total if total > 0.0 else 1.0)
-                acc += size
+        sizes, fractions = _bucket_layout(metadata, num_buckets)
         compress_seconds = distribute_cost(compression_seconds, sizes)
         ready_seconds = ready_times_from_fractions(fractions, self.compute_seconds)
         tasks = [

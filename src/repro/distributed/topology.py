@@ -1,4 +1,4 @@
-"""Two-level cluster topology and pluggable collective-algorithm models.
+"""Multi-level cluster topology and pluggable collective-algorithm models.
 
 The paper's speed-ups come from two very different fabrics — a TCP 10/25 Gbps
 Ethernet cluster of single-GPU servers (Appendix D, Cluster 1) and a 100 Gbps
@@ -10,10 +10,14 @@ all-gather).
 
 This module models both dimensions:
 
-* :class:`ClusterTopology` — ``num_nodes`` x ``devices_per_node`` workers with
-  an *intra-node* link (NVLink/InfiniBand inside a server) and an *inter-node*
-  link (the Ethernet between servers).  ``devices_per_node == 1`` or
-  ``num_nodes == 1`` degenerates to the old single-level model.
+* :class:`ClusterTopology` — a hierarchy of :class:`LinkLevel` entries
+  (devices → racks → pods, each with its own :class:`NetworkModel` and
+  oversubscription factor).  The classic construction is two-level —
+  ``num_nodes`` x ``devices_per_node`` workers with an *intra-node* link
+  (NVLink/InfiniBand inside a server) and an *inter-node* link (the Ethernet
+  between servers) — and ``devices_per_node == 1`` or ``num_nodes == 1``
+  degenerates to the old single-level model.  :meth:`ClusterTopology.from_levels`
+  builds deeper fabrics (the ``fat-tree-128`` and ``dragonfly-64`` presets).
 * Collective algorithms — ``ring-allreduce``, ``recursive-doubling``,
   ``flat-allgather`` and ``hierarchical`` — each returning a
   :class:`CollectiveCost` whose per-phase breakdown sums exactly to the total,
@@ -37,6 +41,8 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+
+import numpy as np
 
 from .network import (
     CLUSTER_ETHERNET_10G,
@@ -123,14 +129,62 @@ class SparseAggregateModel:
 
 
 @dataclass(frozen=True)
-class ClusterTopology:
-    """A two-level cluster: ``num_nodes`` servers with ``devices_per_node`` workers each.
+class LinkLevel:
+    """One level of a cluster's link hierarchy: ``fanout`` children per group.
 
-    ``intra_node`` prices traffic between devices inside one server,
-    ``inter_node`` prices traffic between servers.  Either level may be
-    trivial (``num_nodes == 1`` or ``devices_per_node == 1``), in which case
-    the topology is *single-level* and every collective runs over the one
-    non-trivial link.
+    ``link`` prices the fabric joining the level's groups;
+    ``oversubscription`` divides its effective bandwidth (a 4:1 oversubscribed
+    fat-tree core delivers a quarter of the line rate under all-to-all load)
+    and must be >= 1 — oversubscribing a level can never speed it up.
+    ``name`` labels the level's phases in collective cost breakdowns
+    (``"intra"``/``"inter"`` for the classic two-level decomposition).
+    """
+
+    fanout: int
+    link: NetworkModel
+    oversubscription: float = 1.0
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.fanout < 1:
+            raise ValueError(f"fanout must be >= 1, got {self.fanout}")
+        if not self.oversubscription >= 1.0:
+            raise ValueError(
+                f"oversubscription must be >= 1, got {self.oversubscription}"
+            )
+
+    @property
+    def effective_link(self) -> NetworkModel:
+        """The level's link with oversubscription priced in.
+
+        An oversubscription of exactly 1 returns the link object unchanged, so
+        un-oversubscribed levels keep bit-for-bit identity with the two-level
+        model they generalize.
+        """
+        if self.oversubscription == 1.0:
+            return self.link
+        return NetworkModel(
+            bandwidth_gbps=self.link.bandwidth_gbps / self.oversubscription,
+            latency_s=self.link.latency_s,
+            name=f"{self.link.name}/os{self.oversubscription:g}",
+            efficiency=self.link.efficiency,
+        )
+
+
+@dataclass(frozen=True)
+class ClusterTopology:
+    """A cluster as a hierarchy of link levels.
+
+    The classic construction is two-level — ``num_nodes`` servers with
+    ``devices_per_node`` workers each, ``intra_node`` pricing traffic inside a
+    server and ``inter_node`` the Ethernet between servers — and either level
+    may be trivial, degenerating to the old single-level model.
+
+    ``levels`` generalizes this to an arbitrary hierarchy
+    (innermost-to-outermost :class:`LinkLevel` entries, e.g. devices → racks →
+    pods for a fat-tree): build one with :meth:`from_levels`.  When ``levels``
+    is omitted it is synthesized from the two-level fields, so every
+    pre-existing topology is exactly the two-level special case.
     """
 
     num_nodes: int
@@ -138,31 +192,86 @@ class ClusterTopology:
     inter_node: NetworkModel
     intra_node: NetworkModel
     name: str = ""
+    levels: tuple[LinkLevel, ...] | None = None
 
     def __post_init__(self) -> None:
         if self.num_nodes < 1:
             raise ValueError("num_nodes must be >= 1")
         if self.devices_per_node < 1:
             raise ValueError("devices_per_node must be >= 1")
+        if self.levels is None:
+            object.__setattr__(
+                self,
+                "levels",
+                (
+                    LinkLevel(self.devices_per_node, self.intra_node, name="intra"),
+                    LinkLevel(self.num_nodes, self.inter_node, name="inter"),
+                ),
+            )
+            return
+        levels = tuple(self.levels)
+        if not levels:
+            raise ValueError("levels must contain at least one LinkLevel")
+        object.__setattr__(self, "levels", levels)
+        outer = 1
+        for level in levels[1:]:
+            outer *= level.fanout
+        if self.devices_per_node != levels[0].fanout or self.num_nodes != outer:
+            raise ValueError(
+                "two-level summary fields disagree with levels: expected "
+                f"devices_per_node={levels[0].fanout}, num_nodes={outer}; use "
+                "ClusterTopology.from_levels to build multi-level topologies"
+            )
+
+    @classmethod
+    def from_levels(cls, levels, *, name: str = "") -> "ClusterTopology":
+        """Build a topology from innermost-to-outermost :class:`LinkLevel` entries.
+
+        The legacy two-level summary fields are derived for compatibility:
+        ``devices_per_node`` is the innermost fanout, ``num_nodes`` the product
+        of the remaining fanouts, and ``intra_node``/``inter_node`` the
+        innermost/outermost effective links.
+        """
+        levels = tuple(levels)
+        if not levels:
+            raise ValueError("levels must contain at least one LinkLevel")
+        num_nodes = 1
+        for level in levels[1:]:
+            num_nodes *= level.fanout
+        return cls(
+            num_nodes=num_nodes,
+            devices_per_node=levels[0].fanout,
+            inter_node=levels[-1].effective_link,
+            intra_node=levels[0].effective_link,
+            name=name,
+            levels=levels,
+        )
 
     @property
     def num_workers(self) -> int:
         return self.num_nodes * self.devices_per_node
 
     @property
+    def num_levels(self) -> int:
+        return len(self.levels)
+
+    @property
     def is_single_level(self) -> bool:
-        """True when at most one of the two levels has more than one participant."""
-        return self.num_nodes == 1 or self.devices_per_node == 1
+        """True when at most one level has more than one participant."""
+        return sum(1 for level in self.levels if level.fanout > 1) <= 1
 
     @property
     def bottleneck_link(self) -> NetworkModel:
         """The link a flat (topology-oblivious) collective is gated by.
 
-        A ring laid out node-by-node advances every step at the pace of its
-        slowest hop: the inter-node link whenever the ring spans several
-        nodes, the intra-node link only inside a single server.
+        A ring laid out group-by-group advances every step at the pace of its
+        slowest hop: the outermost level that actually spans several groups.
+        A fully trivial hierarchy falls back to the innermost link.
         """
-        return self.inter_node if self.num_nodes > 1 else self.intra_node
+        for level in reversed(self.levels):
+            if level.fanout > 1:
+                return level.effective_link
+        return self.levels[0].effective_link
 
     @classmethod
     def flat(cls, network: NetworkModel, num_workers: int, *, name: str = "") -> "ClusterTopology":
@@ -247,6 +356,40 @@ class CollectiveCost:
     @property
     def volume_bytes(self) -> float:
         return sum(phase.volume_bytes for phase in self.phases)
+
+
+@dataclass(frozen=True, eq=False)
+class PhaseTable:
+    """Batched serial collective pricing: one (bucket, phase) matrix per field.
+
+    For a fixed topology and algorithm every bucket's cost has the same phase
+    structure (trivial levels contribute no phases regardless of payload), so
+    ``B`` buckets price as ``(B, P)`` matrices sharing per-column names and
+    links.  Row ``b`` is elementwise bit-identical to the scalar
+    :class:`CollectiveCost` of bucket ``b`` — the affine per-phase pricing
+    ``steps * (latency + payload / bandwidth)`` commutes with batching — which
+    is what lets the vectorized scheduler reproduce the loop backend exactly.
+    """
+
+    names: tuple[str, ...]
+    links: tuple[str, ...]
+    #: (B, P) serial per-phase durations, in phase order.
+    seconds: np.ndarray
+    #: (B, P) per-phase wire volumes.
+    volumes: np.ndarray
+    #: (B,) per-bucket achieved dedup ratios.
+    dedup_ratios: np.ndarray
+
+    @property
+    def num_buckets(self) -> int:
+        return self.seconds.shape[0]
+
+    @property
+    def totals(self) -> np.ndarray:
+        """(B,) serial collective totals — the cumulative cursor walk, batched."""
+        if self.seconds.shape[1] == 0:
+            return np.zeros(self.num_buckets)
+        return np.cumsum(self.seconds, axis=1)[:, -1]
 
 
 def _check_payload(num_bytes: float) -> None:
@@ -402,6 +545,22 @@ class CollectiveAlgorithm:
             dedup_ratio=dedup_ratio,
         )
 
+    def batched_allgather(
+        self,
+        topology: ClusterTopology,
+        payloads: np.ndarray,
+        densities: list[float | None],
+        dedup: SparseAggregateModel | None,
+    ) -> PhaseTable | None:
+        """Serial all-gather pricing for a whole batch of bucket payloads.
+
+        Returns ``None`` when the algorithm has no batched form (the caller
+        falls back to per-bucket :meth:`cost` calls).  Implementations must be
+        row-for-row bit-identical to the scalar pricing — the contract the
+        vectorized scheduler backend builds on.
+        """
+        return None
+
 
 class RingAllreduce(CollectiveAlgorithm):
     """Ring all-reduce: reduce-scatter then all-gather, ``2(N-1)`` chunk steps.
@@ -475,6 +634,28 @@ class RecursiveDoubling(CollectiveAlgorithm):
             )
         return phases, 1.0
 
+    def batched_allgather(self, topology, payloads, densities, dedup):
+        payloads = np.asarray(payloads, dtype=float)
+        num_buckets = payloads.shape[0]
+        n = topology.num_workers
+        if n == 1:
+            return PhaseTable(
+                (), (), np.zeros((num_buckets, 0)), np.zeros((num_buckets, 0)),
+                np.ones(num_buckets),
+            )
+        link = topology.bottleneck_link
+        rounds = math.ceil(math.log2(n))
+        blocks = np.stack(
+            [min(2**k, n - 2**k) * payloads for k in range(rounds)], axis=1
+        )
+        return PhaseTable(
+            names=tuple(f"round-{k}" for k in range(rounds)),
+            links=(link.name,) * rounds,
+            seconds=link.latency_s + blocks / link.bytes_per_second,
+            volumes=blocks,
+            dedup_ratios=np.ones(num_buckets),
+        )
+
 
 class FlatAllgather(CollectiveAlgorithm):
     """Topology-oblivious ring all-gather: ``N-1`` steps of one payload each.
@@ -497,24 +678,62 @@ class FlatAllgather(CollectiveAlgorithm):
         seconds = steps * (link.latency_s + num_bytes / link.bytes_per_second)
         return [CollectivePhase("ring-allgather", link.name, seconds, steps * num_bytes)], 1.0
 
+    def batched_allgather(self, topology, payloads, densities, dedup):
+        payloads = np.asarray(payloads, dtype=float)
+        num_buckets = payloads.shape[0]
+        n = topology.num_workers
+        if n == 1:
+            return PhaseTable(
+                (), (), np.zeros((num_buckets, 0)), np.zeros((num_buckets, 0)),
+                np.ones(num_buckets),
+            )
+        link = topology.bottleneck_link
+        steps = n - 1
+        seconds = steps * (link.latency_s + payloads / link.bytes_per_second)
+        return PhaseTable(
+            names=("ring-allgather",),
+            links=(link.name,),
+            seconds=seconds[:, None],
+            volumes=(steps * payloads)[:, None],
+            dedup_ratios=np.ones(num_buckets),
+        )
+
+
+def _aggregate_factor(
+    dedup: SparseAggregateModel | None, density: float | None, size: int
+) -> float:
+    """Size of a ``size``-worker sparse aggregate, in payloads per worker.
+
+    With a dedup model and a known density the aggregate is the expected index
+    union; otherwise it is the raw concatenation.  Shared by the serial and
+    batched hierarchical pricing so both compute bit-identical factors.
+    """
+    if dedup is not None and density is not None and size > 1:
+        return dedup.union_factor(density, size)
+    return float(size)
+
 
 class Hierarchical(CollectiveAlgorithm):
-    """Two-level collective: intra-node reduce/gather → inter-node exchange → intra-node broadcast.
+    """Multi-level collective: gather up the hierarchy, exchange at the top, broadcast down.
 
-    *All-gather* (sparse payloads, one per worker): each node ring-gathers its
-    ``D`` device payloads to a leader over the intra-node link, the ``M``
-    leaders ring-all-gather their ``D``-payload aggregates over the inter-node
-    link, and each leader broadcasts the full ``N``-payload result back to its
-    devices.  The inter-node ring thus runs ``M-1`` steps instead of ``N-1``
-    and its sparse volume grows with the *node* count, not the device count.
+    *All-gather* (sparse payloads, one per worker): every non-outermost level
+    ring-gathers its groups' aggregates to a leader over that level's link,
+    the outermost level's leaders ring-all-gather the full subtree aggregates,
+    and each lower level broadcasts the global result back down.  On the
+    classic two-level topology this is exactly: each node gathers its ``D``
+    device payloads, the ``M`` leaders exchange ``D``-payload aggregates over
+    ``M-1`` inter-node steps (instead of ``N-1``), and each leader broadcasts
+    the ``N``-payload result to its devices.
 
-    *All-reduce* (dense): binomial-tree reduce to the node leader, ring
-    all-reduce among leaders, binomial broadcast back — volume does not grow
-    with participants, so the win is purely fewer inter-node latencies/steps.
+    *All-reduce* (dense): binomial-tree reduce towards the top at every lower
+    level, ring all-reduce among the outermost leaders, binomial broadcast
+    back down — volume does not grow with participants, so the win is purely
+    fewer top-level latencies/steps.
 
-    Degenerate cases collapse exactly: ``devices_per_node == 1`` leaves only
-    the inter-node phase (identical to the flat/ring algorithm), ``num_nodes
-    == 1`` leaves only the intra-node phases, and one worker costs zero.
+    Degenerate cases collapse exactly: a trivial level (``fanout == 1``)
+    contributes no phases, so ``devices_per_node == 1`` leaves only the
+    inter-node phase (identical to the flat/ring algorithm), ``num_nodes ==
+    1`` leaves only the intra-node phases, and one worker costs zero.
 
     Two knobs refine the sparse all-gather beyond the PR-3 serial pricing:
 
@@ -553,42 +772,53 @@ class Hierarchical(CollectiveAlgorithm):
         dedup: SparseAggregateModel | None = None,
         pipeline_chunks: int = 1,
     ):
-        m, d, n = topology.num_nodes, topology.devices_per_node, topology.num_workers
-        intra, inter = topology.intra_node, topology.inter_node
-        # The per-node reduce dedups d overlapping selections into one node
-        # aggregate; the final broadcast ships the n-worker global union.  The
-        # no-dedup aggregates (d payloads, n - 1 payloads) coincide with the
+        levels = topology.levels
+        n = topology.num_workers
+        # Each reduce point dedups its subtree's overlapping selections into
+        # one aggregate; the final broadcasts ship the n-worker global union.
+        # The no-dedup aggregates (``size`` payloads) coincide with the
         # disjoint-union bound until its dense-bucket cap bites (density >
         # 1/participants), which is why both paths share one formula pair.
-        dedup_ratio = 1.0
-        node_factor = float(d)
-        broadcast_factor = float(n - 1)
-        if dedup is not None and density is not None and d > 1:
-            node_factor = dedup.union_factor(density, d)
-            broadcast_factor = dedup.union_factor(density, n) - 1.0
-            dedup_ratio = d / node_factor
         phases = []
         specs = []
-        if d > 1:
-            seconds = (d - 1) * (intra.latency_s + num_bytes / intra.bytes_per_second)
-            phases.append(
-                CollectivePhase("intra-gather", intra.name, seconds, (d - 1) * num_bytes)
-            )
-            specs.append(_PhaseSpec("intra-gather", intra, d - 1, num_bytes, (d - 1) * num_bytes))
-        if m > 1:
-            node_payload = node_factor * num_bytes
-            seconds = (m - 1) * (inter.latency_s + node_payload / inter.bytes_per_second)
-            phases.append(
-                CollectivePhase("inter-allgather", inter.name, seconds, (m - 1) * node_payload)
-            )
-            specs.append(
-                _PhaseSpec("inter-allgather", inter, m - 1, node_payload, (m - 1) * node_payload)
-            )
-        if d > 1:
-            gathered = broadcast_factor * num_bytes
-            seconds = intra.latency_s + gathered / intra.bytes_per_second
-            phases.append(CollectivePhase("intra-broadcast", intra.name, seconds, gathered))
-            specs.append(_PhaseSpec("intra-broadcast", intra, 1, gathered, gathered))
+        # Upward: every non-outermost level gathers its groups' subtree
+        # aggregates to a leader, f-1 ring steps of the growing aggregate.
+        subtree = 1
+        for level in levels[:-1]:
+            if level.fanout > 1:
+                link = level.effective_link
+                payload = _aggregate_factor(dedup, density, subtree) * num_bytes
+                steps = level.fanout - 1
+                seconds = steps * (link.latency_s + payload / link.bytes_per_second)
+                phase_name = f"{level.name or 'level'}-gather"
+                phases.append(
+                    CollectivePhase(phase_name, link.name, seconds, steps * payload)
+                )
+                specs.append(_PhaseSpec(phase_name, link, steps, payload, steps * payload))
+            subtree *= level.fanout
+        # Top: the outermost level's leaders ring-all-gather the aggregates.
+        top = levels[-1]
+        if top.fanout > 1:
+            link = top.effective_link
+            payload = _aggregate_factor(dedup, density, subtree) * num_bytes
+            steps = top.fanout - 1
+            seconds = steps * (link.latency_s + payload / link.bytes_per_second)
+            phase_name = f"{top.name or 'top'}-allgather"
+            phases.append(CollectivePhase(phase_name, link.name, seconds, steps * payload))
+            specs.append(_PhaseSpec(phase_name, link, steps, payload, steps * payload))
+        # Downward: each lower level broadcasts the global aggregate (minus
+        # the receiver's own payload) back towards the devices.
+        gathered = (_aggregate_factor(dedup, density, n) - 1.0) * num_bytes
+        for level in reversed(levels[:-1]):
+            if level.fanout > 1:
+                link = level.effective_link
+                seconds = link.latency_s + gathered / link.bytes_per_second
+                phase_name = f"{level.name or 'level'}-broadcast"
+                phases.append(CollectivePhase(phase_name, link.name, seconds, gathered))
+                specs.append(_PhaseSpec(phase_name, link, 1, gathered, gathered))
+        # The dedup win is measured at the top-level exchange: how much the
+        # below-top subtree aggregate shrank versus plain concatenation.
+        dedup_ratio = subtree / _aggregate_factor(dedup, density, subtree)
         if pipeline_chunks > 1:
             phases = _pipeline_phases(specs, phases, pipeline_chunks)
         return phases, dedup_ratio
@@ -602,42 +832,114 @@ class Hierarchical(CollectiveAlgorithm):
         dedup: SparseAggregateModel | None = None,
         pipeline_chunks: int = 1,
     ):
-        m, d = topology.num_nodes, topology.devices_per_node
-        intra, inter = topology.intra_node, topology.inter_node
+        levels = topology.levels
         phases = []
         specs = []
-        tree_rounds = math.ceil(math.log2(d)) if d > 1 else 0
-        tree_seconds = tree_rounds * (intra.latency_s + num_bytes / intra.bytes_per_second)
-        if d > 1:
+
+        def tree_phase(level: LinkLevel, suffix: str) -> None:
+            link = level.effective_link
+            rounds = math.ceil(math.log2(level.fanout))
+            seconds = rounds * (link.latency_s + num_bytes / link.bytes_per_second)
+            phase_name = f"{level.name or 'level'}-{suffix}"
             phases.append(
-                CollectivePhase("intra-reduce", intra.name, tree_seconds, tree_rounds * num_bytes)
+                CollectivePhase(phase_name, link.name, seconds, rounds * num_bytes)
             )
-            specs.append(
-                _PhaseSpec("intra-reduce", intra, tree_rounds, num_bytes, tree_rounds * num_bytes)
-            )
-        if m > 1:
-            chunk = num_bytes / m
-            seconds = 2 * (m - 1) * (inter.latency_s + chunk / inter.bytes_per_second)
-            phases.append(
-                CollectivePhase("inter-allreduce", inter.name, seconds, 2 * (m - 1) * chunk)
-            )
-            specs.append(
-                _PhaseSpec("inter-allreduce", inter, 2 * (m - 1), chunk, 2 * (m - 1) * chunk)
-            )
-        if d > 1:
-            phases.append(
-                CollectivePhase(
-                    "intra-broadcast", intra.name, tree_seconds, tree_rounds * num_bytes
-                )
-            )
-            specs.append(
-                _PhaseSpec(
-                    "intra-broadcast", intra, tree_rounds, num_bytes, tree_rounds * num_bytes
-                )
-            )
+            specs.append(_PhaseSpec(phase_name, link, rounds, num_bytes, rounds * num_bytes))
+
+        # Binomial-tree reduce towards the top at every non-outermost level...
+        for level in levels[:-1]:
+            if level.fanout > 1:
+                tree_phase(level, "reduce")
+        # ...ring all-reduce among the outermost leaders...
+        top = levels[-1]
+        if top.fanout > 1:
+            link = top.effective_link
+            chunk = num_bytes / top.fanout
+            steps = 2 * (top.fanout - 1)
+            seconds = steps * (link.latency_s + chunk / link.bytes_per_second)
+            phase_name = f"{top.name or 'top'}-allreduce"
+            phases.append(CollectivePhase(phase_name, link.name, seconds, steps * chunk))
+            specs.append(_PhaseSpec(phase_name, link, steps, chunk, steps * chunk))
+        # ...and binomial broadcast back down.
+        for level in reversed(levels[:-1]):
+            if level.fanout > 1:
+                tree_phase(level, "broadcast")
         if pipeline_chunks > 1:
             phases = _pipeline_phases(specs, phases, pipeline_chunks)
         return phases, 1.0
+
+    def batched_allgather(self, topology, payloads, densities, dedup):
+        payloads = np.asarray(payloads, dtype=float)
+        num_buckets = payloads.shape[0]
+        levels = topology.levels
+        n = topology.num_workers
+
+        distinct_densities = set(densities)
+        factor_cache: dict[int, np.ndarray] = {}
+
+        def factors(size: int) -> np.ndarray:
+            # Per-bucket union factors via the same scalar helper the serial
+            # path uses — bit-identical by construction — evaluated once per
+            # distinct (density, size) pair: sweeps usually compress every
+            # bucket at one ratio, collapsing the O(B) loop to a dict lookup.
+            cached = factor_cache.get(size)
+            if cached is None:
+                by_density = {
+                    density: _aggregate_factor(dedup, density, size)
+                    for density in distinct_densities
+                }
+                cached = factor_cache[size] = np.array(
+                    [by_density[density] for density in densities]
+                )
+            return cached
+
+        names: list[str] = []
+        links: list[str] = []
+        seconds_cols: list[np.ndarray] = []
+        volume_cols: list[np.ndarray] = []
+        subtree = 1
+        for level in levels[:-1]:
+            if level.fanout > 1:
+                link = level.effective_link
+                payload = factors(subtree) * payloads
+                steps = level.fanout - 1
+                names.append(f"{level.name or 'level'}-gather")
+                links.append(link.name)
+                seconds_cols.append(
+                    steps * (link.latency_s + payload / link.bytes_per_second)
+                )
+                volume_cols.append(steps * payload)
+            subtree *= level.fanout
+        top = levels[-1]
+        if top.fanout > 1:
+            link = top.effective_link
+            payload = factors(subtree) * payloads
+            steps = top.fanout - 1
+            names.append(f"{top.name or 'top'}-allgather")
+            links.append(link.name)
+            seconds_cols.append(steps * (link.latency_s + payload / link.bytes_per_second))
+            volume_cols.append(steps * payload)
+        gathered = (factors(n) - 1.0) * payloads
+        for level in reversed(levels[:-1]):
+            if level.fanout > 1:
+                link = level.effective_link
+                names.append(f"{level.name or 'level'}-broadcast")
+                links.append(link.name)
+                seconds_cols.append(link.latency_s + gathered / link.bytes_per_second)
+                volume_cols.append(gathered)
+        if seconds_cols:
+            seconds = np.stack(seconds_cols, axis=1)
+            volumes = np.stack(volume_cols, axis=1)
+        else:
+            seconds = np.zeros((num_buckets, 0))
+            volumes = np.zeros((num_buckets, 0))
+        return PhaseTable(
+            names=tuple(names),
+            links=tuple(links),
+            seconds=seconds,
+            volumes=volumes,
+            dedup_ratios=subtree / factors(subtree),
+        )
 
 
 #: Pluggable collective algorithms, keyed by name.
@@ -759,6 +1061,28 @@ class CollectiveModel:
             pipeline_chunks=self.pipeline_chunks,
         )
 
+    def allgather_phase_table(
+        self, payloads, densities: list[float | None]
+    ) -> PhaseTable | None:
+        """Batched all-gather pricing for ``B`` bucket payloads at once.
+
+        ``payloads`` is a length-``B`` array of per-worker payload bytes and
+        ``densities`` the matching per-bucket dense fractions (``None``
+        disables dedup for that bucket, exactly like
+        :meth:`allgather_cost`).  Returns ``None`` when the configuration has
+        no batched form — chunk pipelining reshapes phases per payload, and a
+        custom algorithm may not implement batching — in which case callers
+        fall back to per-bucket :meth:`allgather_cost` calls.  Row ``b`` of a
+        returned table is bit-identical to ``allgather_cost(payloads[b],
+        density=densities[b])``.
+        """
+        if self.pipeline_chunks != 1:
+            return None
+        algorithm = get_collective_algorithm(self.allgather_algorithm, op="allgather")
+        return algorithm.batched_allgather(
+            self.topology, payloads, densities, self.allgather_dedup
+        )
+
     def allreduce_time(self, num_bytes: float) -> float:
         return self.allreduce_cost(num_bytes).total
 
@@ -821,12 +1145,41 @@ TOPOLOGY_TORUS_2D = ClusterTopology(
     name="torus-2d",
 )
 
+#: A production-scale three-tier fat-tree: 128 nodes of 8 InfiniBand-coupled
+#: devices, 8 nodes per rack on 25 Gbps edge links, 4 racks per pod behind a
+#: 2:1 oversubscribed 25 Gbps aggregation tier, and 4 pods behind a 4:1
+#: oversubscribed 10 Gbps core — the hierarchy ROADMAP item 1 asks for, where
+#: the two-level presets stop at 4x8.
+TOPOLOGY_FAT_TREE_128 = ClusterTopology.from_levels(
+    (
+        LinkLevel(8, NODE_INFINIBAND_100G, name="node"),
+        LinkLevel(8, CLUSTER_ETHERNET_25G, name="rack"),
+        LinkLevel(4, CLUSTER_ETHERNET_25G, oversubscription=2.0, name="pod"),
+        LinkLevel(4, CLUSTER_ETHERNET_10G, oversubscription=4.0, name="core"),
+    ),
+    name="fat-tree-128",
+)
+
+#: A dragonfly of 8 groups x 8 nodes x 4 devices (64 nodes, 256 workers):
+#: all-to-all 25 Gbps links inside a group, 2:1 oversubscribed 10 Gbps global
+#: links between groups.
+TOPOLOGY_DRAGONFLY_64 = ClusterTopology.from_levels(
+    (
+        LinkLevel(4, NODE_INFINIBAND_100G, name="node"),
+        LinkLevel(8, CLUSTER_ETHERNET_25G, name="group"),
+        LinkLevel(8, CLUSTER_ETHERNET_10G, oversubscription=2.0, name="global"),
+    ),
+    name="dragonfly-64",
+)
+
 TOPOLOGIES: dict[str, ClusterTopology] = {
     "cluster1": TOPOLOGY_CLUSTER1_10G,
     "cluster1-25g": TOPOLOGY_CLUSTER1_25G,
     "cluster2": TOPOLOGY_CLUSTER2_100G,
     "ethernet-4x8": TOPOLOGY_ETHERNET_4X8,
     "torus-2d": TOPOLOGY_TORUS_2D,
+    "fat-tree-128": TOPOLOGY_FAT_TREE_128,
+    "dragonfly-64": TOPOLOGY_DRAGONFLY_64,
 }
 
 

@@ -38,7 +38,7 @@ from .backend import create_worker_backend, validate_worker_backend
 from .collectives import allgather_sparse, allreduce_dense
 from .metrics import IterationRecord, TrainingMetrics
 from .network import CLUSTER_ETHERNET_10G, NetworkModel
-from .schedule import validate_cross_bucket, validate_overlap
+from .schedule import validate_cross_bucket, validate_overlap, validate_scheduler_backend
 from .timeline import TimelineModel
 from .topology import (
     ClusterTopology,
@@ -115,6 +115,13 @@ class TrainerConfig:
     #: multi-worker runs use real cores).  Both are bit-for-bit identical on
     #: fixed seeds; see :mod:`repro.distributed.backend`.
     worker_backend: str = "serial"
+    #: Scheduler implementation pricing/placing the bucketed iteration:
+    #: ``"loop"`` (the scalar reference simulator) or ``"vectorized"``
+    #: (batched NumPy pricing + array scheduling).  Bit-for-bit identical
+    #: results; the vectorized backend defers to the loop whenever the
+    #: batched contract cannot hold.  See
+    #: :class:`~repro.distributed.timeline.TimelineModel`.
+    scheduler_backend: str = "loop"
 
     def __post_init__(self) -> None:
         if self.num_workers < 1:
@@ -132,6 +139,7 @@ class TrainerConfig:
         validate_overlap(self.overlap)
         validate_cross_bucket(self.cross_bucket_pipeline)
         validate_worker_backend(self.worker_backend)
+        validate_scheduler_backend(self.scheduler_backend)
         get_collective_algorithm(self.allreduce_algorithm, op="allreduce")
         get_collective_algorithm(self.allgather_algorithm, op="allgather")
         validate_pipeline_chunks(self.pipeline_chunks)
@@ -250,6 +258,7 @@ class DistributedTrainer:
             overlap=config.overlap,
             collective=self.collective,
             cross_bucket_pipeline=config.cross_bucket_pipeline,
+            scheduler_backend=config.scheduler_backend,
         )
         self._warmup_compressor = NoCompression()
         self.backend = create_worker_backend(config.worker_backend)

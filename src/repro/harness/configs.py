@@ -84,6 +84,10 @@ class BenchmarkConfig:
     #: inter-node phase.  ``False`` keeps the serial whole-occupancy network
     #: lane (the PR-4 scheduler, reproduced bit-for-bit).
     cross_bucket_pipeline: bool = False
+    #: Scheduler implementation for bucketed iterations: ``"loop"`` (the
+    #: scalar reference simulator) or ``"vectorized"`` (batched NumPy pricing
+    #: + array scheduling, bit-identical results).
+    scheduler_backend: str = "loop"
 
     def build_proxy_model(self, *, seed: int = 1):
         """Instantiate a freshly initialised proxy model."""

@@ -55,6 +55,9 @@ class BenchmarkRunRow:
     #: Whether the run's schedule placed buckets on per-link network lanes
     #: (cross-bucket pipelining) instead of the serial PR-4 network lane.
     cross_bucket_pipeline: bool = False
+    #: Scheduler implementation the run's iterations were priced with
+    #: (``"loop"`` or ``"vectorized"`` — bit-identical results).
+    scheduler_backend: str = "loop"
 
 
 @dataclass
@@ -121,6 +124,7 @@ def _trainer_config(
     pipeline_chunks: int | None = None,
     dedup_assumption: str | None = None,
     cross_bucket_pipeline: bool | None = None,
+    scheduler_backend: str | None = None,
 ) -> TrainerConfig:
     return TrainerConfig(
         num_workers=num_workers,
@@ -145,6 +149,9 @@ def _trainer_config(
         cross_bucket_pipeline=config.cross_bucket_pipeline
         if cross_bucket_pipeline is None
         else cross_bucket_pipeline,
+        scheduler_backend=config.scheduler_backend
+        if scheduler_backend is None
+        else scheduler_backend,
     )
 
 
@@ -167,6 +174,7 @@ def run_benchmark(
     pipeline_chunks: int | None = None,
     dedup_assumption: str | None = None,
     cross_bucket_pipeline: bool | None = None,
+    scheduler_backend: str | None = None,
 ) -> TrainingRunResult:
     """Train one Table 1 proxy benchmark with one compressor and evaluate it.
 
@@ -187,7 +195,10 @@ def run_benchmark(
     the benchmark config's knobs).  ``cross_bucket_pipeline`` schedules the
     buckets' per-link collective phases on independent fabric lanes so
     consecutive buckets overlap across links (default: the benchmark config's
-    knob; ``False`` is the serial PR-4 network lane).
+    knob; ``False`` is the serial PR-4 network lane).  ``scheduler_backend``
+    picks the iteration-schedule implementation (``"loop"`` or
+    ``"vectorized"``; bit-identical results, default: the benchmark config's
+    choice).
     """
     config = benchmark if isinstance(benchmark, BenchmarkConfig) else get_benchmark(benchmark)
     resolved_topology, num_workers = _resolve_topology(config, topology, num_workers)
@@ -198,7 +209,7 @@ def run_benchmark(
         bucket_bytes=bucket_bytes, overlap=overlap, topology=resolved_topology,
         allreduce_algorithm=allreduce_algorithm, allgather_algorithm=allgather_algorithm,
         pipeline_chunks=pipeline_chunks, dedup_assumption=dedup_assumption,
-        cross_bucket_pipeline=cross_bucket_pipeline,
+        cross_bucket_pipeline=cross_bucket_pipeline, scheduler_backend=scheduler_backend,
     )
     trainer = DistributedTrainer(
         model,
@@ -230,6 +241,7 @@ def compare_compressors(
     pipeline_chunks: int | None = None,
     dedup_assumption: str | None = None,
     cross_bucket_pipeline: bool | None = None,
+    scheduler_backend: str | None = None,
 ) -> BenchmarkComparison:
     """Run one benchmark for every (compressor, ratio) pair plus the dense baseline."""
     config = benchmark if isinstance(benchmark, BenchmarkConfig) else get_benchmark(benchmark)
@@ -239,6 +251,7 @@ def compare_compressors(
         topology=topology, allreduce_algorithm=allreduce_algorithm,
         allgather_algorithm=allgather_algorithm, pipeline_chunks=pipeline_chunks,
         dedup_assumption=dedup_assumption, cross_bucket_pipeline=cross_bucket_pipeline,
+        scheduler_backend=scheduler_backend,
     )
     baseline_quality = _quality_from_evaluation(config, baseline.final_evaluation)
     baseline_rate = baseline_quality / max(baseline.metrics.total_time, 1e-12)
@@ -253,6 +266,7 @@ def compare_compressors(
                 topology=topology, allreduce_algorithm=allreduce_algorithm,
                 allgather_algorithm=allgather_algorithm, pipeline_chunks=pipeline_chunks,
                 dedup_assumption=dedup_assumption, cross_bucket_pipeline=cross_bucket_pipeline,
+                scheduler_backend=scheduler_backend,
             )
             quality = _quality_from_evaluation(config, result.final_evaluation)
             rate = quality / max(result.metrics.total_time, 1e-12)
@@ -287,6 +301,9 @@ def compare_compressors(
                     cross_bucket_pipeline=result.config.cross_bucket_pipeline
                     if result.config
                     else False,
+                    scheduler_backend=result.config.scheduler_backend
+                    if result.config
+                    else "loop",
                 )
             )
             comparison.runs[(name, ratio)] = result

@@ -25,6 +25,22 @@ def _seed_global_rngs():
     yield
 
 
+@pytest.fixture(autouse=True)
+def _reset_bucket_fallback_warnings():
+    """Clear the timeline's warn-once guard around every test.
+
+    The guard is module-global process state: without the reset, whichever
+    test first triggers (or swallows) a bucket-metadata fallback warning would
+    hide the same warning from every later test in the process, making
+    warning assertions order-dependent.
+    """
+    from repro.distributed import reset_bucket_fallback_warnings
+
+    reset_bucket_fallback_warnings()
+    yield
+    reset_bucket_fallback_warnings()
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     return np.random.default_rng(12345)

@@ -19,6 +19,18 @@ class TestAllreduceDense:
         with pytest.raises(ValueError):
             allreduce_dense([np.zeros(3), np.zeros(4)])
 
+    def test_dimension_mismatch_raises_the_friendly_message(self):
+        # Regression: np.stack used to run before the size check, so mismatched
+        # gradients surfaced numpy's generic shape error instead of this one.
+        with pytest.raises(ValueError, match="same dimension"):
+            allreduce_dense([np.zeros(3), np.zeros(4)])
+
+    def test_multi_dimensional_inputs_are_flattened_before_the_check(self):
+        result = allreduce_dense([np.zeros((2, 3)), np.ones(6)])
+        assert result.aggregated.shape == (6,)
+        with pytest.raises(ValueError, match="same dimension"):
+            allreduce_dense([np.zeros((2, 3)), np.ones(7)])
+
     def test_empty_rejected(self):
         with pytest.raises(ValueError):
             allreduce_dense([])

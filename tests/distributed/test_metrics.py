@@ -1,5 +1,7 @@
 """Tests for training metrics."""
 
+import dataclasses
+
 import numpy as np
 import pytest
 
@@ -127,3 +129,23 @@ class TestOverlapSummary:
             "serialized_seconds": 0.0,
             "overlap_saving": 0.0,
         }
+
+
+class TestMeanDedupRatio:
+    def test_averages_compressed_iterations_only(self):
+        metrics = TrainingMetrics()
+        for i, dedup in enumerate((1.5, 2.5)):
+            metrics.append(dataclasses.replace(_record(i), dedup_ratio=dedup))
+        metrics.append(_record(2, ratio=1.0, target=1.0))  # dense baseline iteration
+        assert metrics.mean_dedup_ratio() == pytest.approx(2.0)
+
+    def test_every_record_uncompressed_pins_one(self):
+        # Regression: filtering to target_ratio < 1.0 can leave nothing to
+        # average (a baseline/warm-up-only run).  The contract is a clean,
+        # finite 1.0 — never a crash or NaN from an empty mean.
+        metrics = _metrics(n=5, ratio=1.0, target=1.0)
+        assert metrics.mean_dedup_ratio() == 1.0
+        assert np.isfinite(metrics.mean_dedup_ratio())
+
+    def test_empty_run_pins_one(self):
+        assert TrainingMetrics().mean_dedup_ratio() == 1.0

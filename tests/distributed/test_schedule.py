@@ -737,6 +737,21 @@ class TestLinkUtilization:
         assert util[""]["busy_seconds"] == pytest.approx(0.4)
         assert util[""]["utilization"] == pytest.approx(1.0)
 
+    @pytest.mark.parametrize("cross", [False, True])
+    def test_no_communication_at_all_reports_no_lanes(self, cross):
+        # Regression: every bucket compresses but ships nothing, so no event
+        # contributes to the window.  The window start must not be left at a
+        # sentinel that leaks inf/NaN into utilizations — the contract is an
+        # empty dict, same as a schedule with no buckets.
+        tasks = [
+            BucketTask(index=i, ready_seconds=0.0, compress_seconds=0.1, comm_seconds=0.0)
+            for i in range(3)
+        ]
+        schedule = simulate_iteration(
+            tasks, compute_seconds=0.1, overlap="comm", cross_bucket_pipeline=cross
+        )
+        assert schedule.link_utilization() == {}
+
 
 class TestPr4GoldenSchedules:
     """Golden pins captured at the PR-4 head (commit 562d90d).

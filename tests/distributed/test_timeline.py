@@ -12,6 +12,7 @@ from repro.distributed import (
     SparseAggregateModel,
     TimelineModel,
     compute_time_for_overhead,
+    reset_bucket_fallback_warnings,
 )
 from repro.gradients import realistic_gradient
 from repro.perfmodel import GPU_V100
@@ -139,10 +140,10 @@ class TestBucketedCommunication:
         # not an inconsistency: no warning.
         assert not [w for w in recwarn.list if issubclass(w.category, RuntimeWarning)]
 
-    def test_mixed_results_fall_back_with_warning(self, monkeypatch):
-        from repro.distributed import timeline as timeline_module
-
-        monkeypatch.setattr(timeline_module, "_BUCKET_FALLBACK_WARNED", set())
+    def test_mixed_results_fall_back_with_warning(self):
+        # The autouse fixture already cleared the warn-once guard; the
+        # explicit reset documents that this test depends on a clean slate.
+        reset_bucket_fallback_warnings()
         timeline = _timeline(workers=2)
         bucketed = self._bucketed_results()[0]
         plain = create_compressor("topk").compress(realistic_gradient(20_000, seed=13), 0.05)
@@ -153,11 +154,10 @@ class TestBucketedCommunication:
             warnings.simplefilter("error")
             assert timeline.bucket_communication_times([bucketed, plain]) is None
 
-    def test_mismatched_bucket_counts_fall_back_with_warning(self, monkeypatch):
-        from repro.distributed import timeline as timeline_module
+    def test_mismatched_bucket_counts_fall_back_with_warning(self):
         from repro.pipeline import CompressionPipeline
 
-        monkeypatch.setattr(timeline_module, "_BUCKET_FALLBACK_WARNED", set())
+        reset_bucket_fallback_warnings()
         timeline = _timeline(workers=2)
         gradient = realistic_gradient(20_000, seed=13)
         coarse = CompressionPipeline(create_compressor("topk"), bucket_bytes=16_000)
@@ -166,13 +166,12 @@ class TestBucketedCommunication:
         with pytest.warns(RuntimeWarning, match="disagree"):
             assert timeline.bucket_communication_times(results) is None
 
-    def test_each_fallback_category_warns_independently(self, monkeypatch):
+    def test_each_fallback_category_warns_independently(self):
         # Warning about one misconfiguration must not suppress the warning for
         # a different one later in the same process.
-        from repro.distributed import timeline as timeline_module
         from repro.pipeline import CompressionPipeline
 
-        monkeypatch.setattr(timeline_module, "_BUCKET_FALLBACK_WARNED", set())
+        reset_bucket_fallback_warnings()
         timeline = _timeline(workers=2)
         gradient = realistic_gradient(20_000, seed=13)
         bucketed = self._bucketed_results()[0]

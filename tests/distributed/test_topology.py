@@ -10,6 +10,7 @@ from repro.distributed import (
     TOPOLOGIES,
     ClusterTopology,
     CollectiveModel,
+    LinkLevel,
     NetworkModel,
     SparseAggregateModel,
     get_collective_algorithm,
@@ -229,6 +230,8 @@ class TestTopologyPresets:
             "cluster2",
             "ethernet-4x8",
             "torus-2d",
+            "fat-tree-128",
+            "dragonfly-64",
         }
 
     def test_cluster1_mirrors_appendix_d(self):
@@ -280,6 +283,137 @@ class TestTopologyPresets:
         model = CollectiveModel(topo)
         assert model.allreduce_time(4e6) == get_network("10g").allreduce_time(4e6, 8)
         assert model.allgather_time(1e5) == get_network("10g").allgather_time(1e5, 8)
+
+
+class TestLinkLevel:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="fanout"):
+            LinkLevel(0, ETH)
+        with pytest.raises(ValueError, match="oversubscription"):
+            LinkLevel(4, ETH, oversubscription=0.5)
+
+    def test_effective_link_identity_without_oversubscription(self):
+        # Object identity, not just equality: the two-level degenerate case
+        # must keep `topo.bottleneck_link is <link>` pins intact.
+        assert LinkLevel(4, ETH).effective_link is ETH
+
+    def test_oversubscription_derates_bandwidth_only(self):
+        level = LinkLevel(4, ETH, oversubscription=4.0)
+        effective = level.effective_link
+        assert effective.bandwidth_gbps == ETH.bandwidth_gbps / 4.0
+        assert effective.latency_s == ETH.latency_s
+        assert effective.efficiency == ETH.efficiency
+        assert effective.name == "eth/os4"
+
+
+class TestMultiLevelTopology:
+    def _three_level(self):
+        return ClusterTopology.from_levels(
+            (
+                LinkLevel(4, FAST, name="node"),
+                LinkLevel(2, ETH, name="rack"),
+                LinkLevel(3, ETH, oversubscription=2.0, name="core"),
+            ),
+            name="test-3level",
+        )
+
+    def test_from_levels_derives_summary_fields(self):
+        topo = self._three_level()
+        assert topo.num_levels == 3
+        assert topo.devices_per_node == 4
+        assert topo.num_nodes == 6
+        assert topo.num_workers == 24
+        assert topo.intra_node is FAST
+        assert topo.inter_node.name == "eth/os2"
+        assert topo.bottleneck_link.name == "eth/os2"
+
+    def test_from_levels_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one"):
+            ClusterTopology.from_levels(())
+
+    def test_inconsistent_summary_fields_rejected(self):
+        with pytest.raises(ValueError, match="from_levels"):
+            ClusterTopology(
+                num_nodes=2,
+                devices_per_node=2,
+                inter_node=ETH,
+                intra_node=FAST,
+                levels=(LinkLevel(4, FAST), LinkLevel(3, ETH)),
+            )
+
+    def test_synthesized_levels_match_two_level_fields(self):
+        topo = two_level(4, 8)
+        assert topo.num_levels == 2
+        assert [level.name for level in topo.levels] == ["intra", "inter"]
+        assert topo.levels[0].fanout == 8 and topo.levels[0].link is FAST
+        assert topo.levels[1].fanout == 4 and topo.levels[1].link is ETH
+
+    def test_two_level_from_levels_prices_like_legacy(self):
+        # from_levels with two un-oversubscribed levels must be bit-for-bit
+        # the legacy two-level constructor, phases included.
+        legacy = two_level(4, 8)
+        rebuilt = ClusterTopology.from_levels(
+            (LinkLevel(8, FAST, name="intra"), LinkLevel(4, ETH, name="inter"))
+        )
+        for algorithm in ("hierarchical", "recursive-doubling", "flat-allgather"):
+            a = get_collective_algorithm(algorithm, op="allgather")
+            assert a.cost(legacy, "allgather", 1e6) == a.cost(rebuilt, "allgather", 1e6)
+        h = get_collective_algorithm("hierarchical", op="allreduce")
+        assert h.cost(legacy, "allreduce", 1e6) == h.cost(rebuilt, "allreduce", 1e6)
+
+    def test_trivial_middle_level_adds_no_phases(self):
+        with_trivial = ClusterTopology.from_levels(
+            (LinkLevel(4, FAST, name="node"), LinkLevel(1, ETH, name="rack"),
+             LinkLevel(3, ETH, name="core"))
+        )
+        without = ClusterTopology.from_levels(
+            (LinkLevel(4, FAST, name="node"), LinkLevel(3, ETH, name="core"))
+        )
+        h = get_collective_algorithm("hierarchical", op="allgather")
+        cost_with = h.cost(with_trivial, "allgather", 1e6)
+        cost_without = h.cost(without, "allgather", 1e6)
+        assert [p.name for p in cost_with.phases] == [p.name for p in cost_without.phases]
+        assert cost_with.total == cost_without.total
+
+    def test_hierarchical_phase_names_follow_level_names(self):
+        h = get_collective_algorithm("hierarchical", op="allgather")
+        cost = h.cost(self._three_level(), "allgather", 1e6)
+        assert [p.name for p in cost.phases] == [
+            "node-gather", "rack-gather", "core-allgather", "rack-broadcast",
+            "node-broadcast",
+        ]
+
+    def test_oversubscription_never_cheapens_a_collective(self):
+        levels = (LinkLevel(4, FAST, name="node"), LinkLevel(4, ETH, name="core"))
+        base = ClusterTopology.from_levels(levels)
+        oversubscribed = ClusterTopology.from_levels(
+            (levels[0], LinkLevel(4, ETH, oversubscription=3.0, name="core"))
+        )
+        for algorithm in ("hierarchical", "flat-allgather", "recursive-doubling"):
+            a = get_collective_algorithm(algorithm, op="allgather")
+            assert (
+                a.cost(oversubscribed, "allgather", 1e6).total
+                >= a.cost(base, "allgather", 1e6).total
+            )
+
+    def test_fat_tree_128_preset_shape(self):
+        topo = get_topology("fat-tree-128")
+        assert topo.num_nodes == 128
+        assert topo.devices_per_node == 8
+        assert topo.num_workers == 1024
+        assert topo.num_levels == 4
+        assert [level.name for level in topo.levels] == ["node", "rack", "pod", "core"]
+        assert topo.bottleneck_link.name == "ethernet-10g/os4"
+        assert not topo.is_single_level
+
+    def test_dragonfly_64_preset_shape(self):
+        topo = get_topology("dragonfly-64")
+        assert topo.num_nodes == 64
+        assert topo.devices_per_node == 4
+        assert topo.num_workers == 256
+        assert topo.num_levels == 3
+        assert [level.name for level in topo.levels] == ["node", "group", "global"]
+        assert topo.bottleneck_link.name == "ethernet-10g/os2"
 
 
 class TestSparseAggregateModel:

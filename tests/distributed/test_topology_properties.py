@@ -15,6 +15,7 @@ Invariants pinned here:
   intra-node link as well (see :func:`hierarchical_crossover_factor`).
 """
 
+import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -24,8 +25,10 @@ from repro.distributed import (
     DEDUP_ASSUMPTIONS,
     ClusterTopology,
     CollectiveModel,
+    LinkLevel,
     NetworkModel,
     SparseAggregateModel,
+    get_topology,
 )
 
 ALGORITHM_OPS = [
@@ -327,3 +330,139 @@ class TestPipeliningInvariants:
         )
         assert knobs.allgather_cost(num_bytes, density=0.05).total == flat.allgather_time(num_bytes)
         assert knobs.allreduce_cost(num_bytes).total == flat.allreduce_time(num_bytes)
+
+
+MULTI_LEVEL_PRESETS = ["fat-tree-128", "dragonfly-64"]
+
+
+@st.composite
+def level_stacks(draw, *, oversubscribed: bool = False):
+    """Random 1-4 deep ``LinkLevel`` stacks, optionally with oversubscription."""
+    count = draw(st.integers(min_value=1, max_value=4))
+    return tuple(
+        LinkLevel(
+            fanout=draw(st.integers(min_value=1, max_value=4)),
+            link=draw(networks(name=f"l{i}")),
+            oversubscription=(
+                draw(st.floats(min_value=1.0, max_value=16.0)) if oversubscribed else 1.0
+            ),
+            name=f"level{i}",
+        )
+        for i in range(count)
+    )
+
+
+@st.composite
+def multi_level_topologies(draw):
+    return ClusterTopology.from_levels(draw(level_stacks(oversubscribed=True)), name="hypo-multi")
+
+
+class TestMultiLevelInvariants:
+    """The two-level invariants survive arbitrary-depth fabrics."""
+
+    @settings(max_examples=150, deadline=None)
+    @given(
+        topology=multi_level_topologies(),
+        num_bytes=payloads,
+        algorithm_op=st.sampled_from(ALGORITHM_OPS),
+    )
+    def test_phase_costs_sum_to_total(self, topology, num_bytes, algorithm_op):
+        name, op = algorithm_op
+        cost = COLLECTIVE_ALGORITHMS[name].cost(topology, op, num_bytes)
+        assert cost.total == pytest.approx(sum(p.seconds for p in cost.phases), abs=1e-15)
+        assert all(p.seconds >= 0.0 for p in cost.phases)
+        assert all(p.volume_bytes >= 0.0 for p in cost.phases)
+
+    @settings(max_examples=150, deadline=None)
+    @given(
+        topology=multi_level_topologies(),
+        num_bytes=payloads,
+        scale=st.floats(min_value=1.0, max_value=100.0),
+        algorithm_op=st.sampled_from(ALGORITHM_OPS),
+    )
+    def test_monotone_in_payload_bytes(self, topology, num_bytes, scale, algorithm_op):
+        name, op = algorithm_op
+        algo = COLLECTIVE_ALGORITHMS[name]
+        smaller = algo.cost(topology, op, num_bytes).total
+        larger = algo.cost(topology, op, num_bytes * scale).total
+        assert larger >= smaller - 1e-12 * max(1.0, smaller)
+
+    @settings(max_examples=150, deadline=None)
+    @given(
+        stack=level_stacks(),
+        factors=st.lists(
+            st.floats(min_value=1.0, max_value=16.0), min_size=4, max_size=4
+        ),
+        num_bytes=payloads,
+        algorithm_op=st.sampled_from(ALGORITHM_OPS),
+    )
+    def test_oversubscription_never_speeds_a_level_up(
+        self, stack, factors, num_bytes, algorithm_op
+    ):
+        # Derating any subset of levels by an oversubscription factor >= 1
+        # only shrinks effective bandwidth, so no collective ever gets faster.
+        name, op = algorithm_op
+        derated_levels = tuple(
+            LinkLevel(
+                fanout=level.fanout,
+                link=level.link,
+                oversubscription=factor,
+                name=level.name,
+            )
+            for level, factor in zip(stack, factors)
+        )
+        clean = ClusterTopology.from_levels(stack, name="clean")
+        derated = ClusterTopology.from_levels(derated_levels, name="derated")
+        algo = COLLECTIVE_ALGORITHMS[name]
+        before = algo.cost(clean, op, num_bytes).total
+        after = algo.cost(derated, op, num_bytes).total
+        assert after >= before - 1e-12 * max(1.0, before)
+
+
+class TestMultiLevelPresets:
+    """The invariants hold on the shipped fat-tree / dragonfly presets."""
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        preset=st.sampled_from(MULTI_LEVEL_PRESETS),
+        num_bytes=payloads,
+        scale=st.floats(min_value=1.0, max_value=100.0),
+        algorithm_op=st.sampled_from(ALGORITHM_OPS),
+    )
+    def test_phase_sum_and_payload_monotonicity(self, preset, num_bytes, scale, algorithm_op):
+        name, op = algorithm_op
+        algo = COLLECTIVE_ALGORITHMS[name]
+        topology = get_topology(preset)
+        cost = algo.cost(topology, op, num_bytes)
+        assert cost.total == pytest.approx(sum(p.seconds for p in cost.phases), abs=1e-15)
+        assert all(p.seconds >= 0.0 for p in cost.phases)
+        larger = algo.cost(topology, op, num_bytes * scale).total
+        assert larger >= cost.total - 1e-12 * max(1.0, cost.total)
+
+    @settings(max_examples=75, deadline=None)
+    @given(
+        preset=st.sampled_from(MULTI_LEVEL_PRESETS),
+        payload_list=st.lists(payloads, min_size=1, max_size=6),
+        density=st.one_of(st.none(), densities),
+        dedup=dedup_models,
+    )
+    def test_batched_table_rows_match_scalar_pricing(self, preset, payload_list, density, dedup):
+        # The tentpole's vectorized scheduler leans on this: batching must be
+        # a pure reshape of the scalar pricing, bit-for-bit, on deep fabrics.
+        model = CollectiveModel(
+            topology=get_topology(preset),
+            allgather_algorithm="hierarchical",
+            allgather_dedup=dedup,
+        )
+        table = model.allgather_phase_table(
+            np.asarray(payload_list, dtype=float), [density] * len(payload_list)
+        )
+        assert table is not None
+        assert table.num_buckets == len(payload_list)
+        totals = table.totals.tolist()
+        seconds = table.seconds.tolist()
+        for b, payload in enumerate(payload_list):
+            cost = model.allgather_cost(payload, density=density)
+            assert totals[b] == cost.total
+            assert seconds[b] == [p.seconds for p in cost.phases]
+            assert table.names == tuple(p.name for p in cost.phases)

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.harness import compare_compressors
+from repro.harness import compare_compressors, write_bench_artifact
 from repro.harness.training_runs import BenchmarkComparison
 
 #: Quick-scale settings shared by all training-based benchmark modules.
@@ -54,3 +54,15 @@ def cached_comparison(
 def comparison_cache():
     """Expose the memoised comparison runner to benchmark modules."""
     return cached_comparison
+
+
+@pytest.fixture(scope="session")
+def emit_artifact():
+    """Write one ``BENCH_*`` artifact in the unified schema.
+
+    Wraps :func:`repro.harness.write_bench_artifact`: every emitter passes its
+    pre-schema payload as ``legacy=`` (old top-level keys kept for one
+    release) plus the envelope's ``params``/``metrics``/``records``, and
+    asserts its ratchet bars against the returned disk round-trip.
+    """
+    return write_bench_artifact

@@ -34,7 +34,6 @@ the artifact write are skipped (they are calibrated to the full 25M scale).
 
 from __future__ import annotations
 
-import json
 import os
 from pathlib import Path
 
@@ -189,7 +188,7 @@ def test_full_stack_acceptance_on_ethernet(worker_results):
 
 
 @pytest.mark.skipif(SMOKE, reason="artifact records full-scale numbers only")
-def test_emit_cross_bucket_bench_artifact(worker_results):
+def test_emit_cross_bucket_bench_artifact(worker_results, emit_artifact):
     scenarios = []
     for preset in SCENARIOS:
         topology = get_topology(preset)
@@ -249,8 +248,33 @@ def test_emit_cross_bucket_bench_artifact(worker_results):
         "scheduler_only_speedup": acceptance["scheduler_only_speedup"],
         "scenarios": scenarios,
     }
-    ARTIFACT_PATH.write_text(json.dumps(artifact, indent=2) + "\n")
-    written = json.loads(ARTIFACT_PATH.read_text())
+    written = emit_artifact(
+        ARTIFACT_PATH,
+        "cross_bucket_speedup",
+        params={
+            key: artifact[key]
+            for key in ("dimension", "comm_overhead", "overlap", "baseline", "tuned_stack")
+        },
+        metrics={
+            "speedup": artifact["speedup"],
+            "scheduler_only_speedup": artifact["scheduler_only_speedup"],
+        },
+        records=[
+            {
+                "workload": "cross_bucket_speedup",
+                "config": {"topology": scenario["topology"]["name"], "ratio": row["ratio"]},
+                "metrics": {
+                    "pr4_scheduler_seconds": row["pr4_scheduler_seconds"],
+                    "cross_bucket_tuned_seconds": row["cross_bucket_tuned_seconds"],
+                    "scheduler_only_speedup": row["scheduler_only_speedup"],
+                    "full_stack_speedup": row["full_stack_speedup"],
+                },
+            }
+            for scenario in scenarios
+            for row in scenario["iterations"]
+        ],
+        legacy=artifact,
+    )
     assert written["speedup"] >= 1.10
     for scenario in written["scenarios"]:
         for row in scenario["iterations"]:

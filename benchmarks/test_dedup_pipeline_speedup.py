@@ -25,7 +25,6 @@ Run with ``PYTHONPATH=src python -m pytest benchmarks/test_dedup_pipeline_speedu
 
 from __future__ import annotations
 
-import json
 from pathlib import Path
 
 import pytest
@@ -154,7 +153,7 @@ def test_iteration_time_speedup_clears_1_3x(worker_results):
     assert links == {"infiniband-100g", "ethernet-10g"}
 
 
-def test_emit_dedup_bench_artifact(worker_results):
+def test_emit_dedup_bench_artifact(worker_results, emit_artifact):
     scenarios = []
     for preset in SCENARIOS:
         topology = get_topology(preset)
@@ -216,8 +215,33 @@ def test_emit_dedup_bench_artifact(worker_results):
             "achieved_dedup_ratio": tuned.dedup_ratio,
         },
     }
-    ARTIFACT_PATH.write_text(json.dumps(artifact, indent=2) + "\n")
-    written = json.loads(ARTIFACT_PATH.read_text())
+    written = emit_artifact(
+        ARTIFACT_PATH,
+        "dedup_pipeline_speedup",
+        params={
+            key: artifact[key]
+            for key in ("dimension", "dedup_assumption", "pipeline_chunks")
+        },
+        metrics={
+            "compressed_iteration_speedup": artifact["compressed_iteration"]["speedup"],
+            "achieved_dedup_ratio": artifact["compressed_iteration"]["achieved_dedup_ratio"],
+        },
+        records=[
+            {
+                "workload": "dedup_pipeline_speedup",
+                "config": {"topology": scenario["topology"]["name"], "ratio": row["ratio"]},
+                "metrics": {
+                    "pr3_serial_seconds": row["pr3_serial_seconds"],
+                    "dedup_pipelined_seconds": row["dedup_pipelined_seconds"],
+                    "speedup": row["speedup"],
+                    "achieved_dedup_ratio": row["achieved_dedup_ratio"],
+                },
+            }
+            for scenario in scenarios
+            for row in scenario["allgather"]
+        ],
+        legacy=artifact,
+    )
     assert written["compressed_iteration"]["speedup"] >= 1.3
     for scenario in written["scenarios"]:
         assert all(row["speedup"] > 1.0 for row in scenario["allgather"])

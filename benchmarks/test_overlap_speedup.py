@@ -19,7 +19,6 @@ Run with ``PYTHONPATH=src python -m pytest benchmarks/test_overlap_speedup.py -v
 
 from __future__ import annotations
 
-import json
 from pathlib import Path
 
 import pytest
@@ -82,7 +81,7 @@ def test_overlapped_iteration_never_slower_than_serialized(timeline, worker_resu
     assert timings["comm+compress"].total <= timings["comm"].total
 
 
-def test_emit_overlap_bench_artifact(timeline, worker_results):
+def test_emit_overlap_bench_artifact(timeline, worker_results, emit_artifact):
     result = worker_results[0]
     timings = {
         policy: timeline.compressed_iteration(worker_results, overlap=policy)
@@ -108,6 +107,22 @@ def test_emit_overlap_bench_artifact(timeline, worker_results):
             for policy, timing in timings.items()
         },
     }
-    ARTIFACT_PATH.write_text(json.dumps(artifact, indent=2) + "\n")
-    written = json.loads(ARTIFACT_PATH.read_text())
+    written = emit_artifact(
+        ARTIFACT_PATH,
+        "overlap_speedup",
+        params={
+            key: artifact[key]
+            for key in ("dimension", "ratio", "num_workers", "comm_overhead", "compressor")
+        },
+        metrics={
+            "comm_compress_speedup_vs_serialized": artifact["policies"]["comm+compress"][
+                "speedup_vs_serialized"
+            ],
+        },
+        records=[
+            {"workload": "overlap_speedup", "config": {"overlap": policy}, "metrics": metrics}
+            for policy, metrics in artifact["policies"].items()
+        ],
+        legacy=artifact,
+    )
     assert written["policies"]["comm+compress"]["iteration_seconds"] <= serialized

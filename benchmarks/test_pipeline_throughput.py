@@ -19,7 +19,6 @@ the full 25M scale).
 
 from __future__ import annotations
 
-import json
 import os
 import time
 from pathlib import Path
@@ -160,7 +159,7 @@ def test_vectorized_beats_scalar_bucket_loop(name, sweep_timings):
 
 
 @pytest.mark.skipif(SMOKE, reason="artifact records full-scale numbers only")
-def test_emit_registry_throughput_artifact(sweep_timings):
+def test_emit_registry_throughput_artifact(sweep_timings, emit_artifact):
     rows = [sweep_timings(name) for name in SWEEP_NAMES]
     payload = {
         "dimension": DIMENSION,
@@ -170,9 +169,26 @@ def test_emit_registry_throughput_artifact(sweep_timings):
         "floor_compressors": list(FLOOR_NAMES),
         "compressors": rows,
     }
-    ARTIFACT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    written = emit_artifact(
+        ARTIFACT_PATH,
+        "registry_throughput",
+        params={
+            key: payload[key]
+            for key in ("dimension", "ratio", "bucket_bytes", "min_speedup_floor",
+                        "floor_compressors")
+        },
+        records=[
+            {
+                "workload": "registry_throughput",
+                "config": {"compressor": row["compressor"]},
+                "metrics": {k: v for k, v in row.items() if k != "compressor"},
+            }
+            for row in rows
+        ],
+        legacy=payload,
+    )
     for name in FLOOR_NAMES:
-        row = next(r for r in rows if r["compressor"] == name)
+        row = next(r for r in written["compressors"] if r["compressor"] == name)
         assert row["speedup_vs_unbucketed"] >= MIN_SPEEDUP
 
 

@@ -29,7 +29,6 @@ and the artifact write are skipped (timings at toy scale are all overhead).
 
 from __future__ import annotations
 
-import json
 import os
 import time
 from pathlib import Path
@@ -146,7 +145,7 @@ def test_vectorized_scheduler_throughput_ratchet(worker_results):
 
 
 @pytest.mark.skipif(SMOKE, reason="artifact records full-scale numbers only")
-def test_emit_sched_throughput_artifact(worker_results):
+def test_emit_sched_throughput_artifact(worker_results, emit_artifact):
     topology = get_topology(PRESET)
     num_buckets = worker_results[0].metadata["num_buckets"]
     rows = []
@@ -194,8 +193,33 @@ def test_emit_sched_throughput_artifact(worker_results):
         ),
         "scenarios": rows,
     }
-    ARTIFACT_PATH.write_text(json.dumps(artifact, indent=2) + "\n")
-    written = json.loads(ARTIFACT_PATH.read_text())
+    written = emit_artifact(
+        ARTIFACT_PATH,
+        "sched_throughput",
+        params={
+            key: artifact[key]
+            for key in ("dimension", "ratio", "bucket_bytes", "num_buckets", "overlap",
+                        "topology", "min_speedup_bar")
+        },
+        metrics={"speedup": artifact["speedup"]},
+        records=[
+            {
+                "workload": "sched_throughput",
+                "config": {
+                    "topology": topology.name,
+                    "cross_bucket_pipeline": row["cross_bucket_pipeline"],
+                },
+                "metrics": {
+                    key: row[key]
+                    for key in ("loop_seconds_per_call", "vectorized_seconds_per_call",
+                                "loop_schedules_per_second",
+                                "vectorized_schedules_per_second", "speedup")
+                },
+            }
+            for row in rows
+        ],
+        legacy=artifact,
+    )
     assert written["speedup"] >= MIN_SPEEDUP
     for row in written["scenarios"]:
         assert row["speedup"] >= 1.0

@@ -23,7 +23,6 @@ Run with ``PYTHONPATH=src python -m pytest benchmarks/test_topology_speedup.py -
 
 from __future__ import annotations
 
-import json
 from pathlib import Path
 
 import pytest
@@ -108,7 +107,7 @@ def test_timeline_iteration_cheaper_with_hierarchical(worker_results):
     assert phases == {"intra-gather", "inter-allgather", "intra-broadcast"}
 
 
-def test_emit_topology_bench_artifact(worker_results):
+def test_emit_topology_bench_artifact(worker_results, emit_artifact):
     rows = []
     for ratio in RATIOS:
         payload = ratio * DIMENSION * SPARSE_ELEMENT_BYTES
@@ -157,7 +156,26 @@ def test_emit_topology_bench_artifact(worker_results):
             "speedup": flat_timing.total / hier_timing.total,
         },
     }
-    ARTIFACT_PATH.write_text(json.dumps(artifact, indent=2) + "\n")
-    written = json.loads(ARTIFACT_PATH.read_text())
+    written = emit_artifact(
+        ARTIFACT_PATH,
+        "topology_speedup",
+        params={"dimension": DIMENSION, "topology": artifact["topology"]},
+        metrics={
+            "compressed_iteration_speedup": artifact["compressed_iteration"]["speedup"],
+        },
+        records=[
+            {
+                "workload": "topology_speedup",
+                "config": {"topology": TOPOLOGY.name, "ratio": row["ratio"]},
+                "metrics": {
+                    "flat_allgather_seconds": row["flat_allgather_seconds"],
+                    "hierarchical_seconds": row["hierarchical_seconds"],
+                    "speedup": row["speedup"],
+                },
+            }
+            for row in rows
+        ],
+        legacy=artifact,
+    )
     assert all(row["speedup"] > 1.0 for row in written["allgather"])
     assert written["compressed_iteration"]["speedup"] > 1.0

@@ -39,6 +39,55 @@ from ..compressors.base import Compressor, CompressionResult
 WORKER_BACKENDS: tuple[str, ...] = ("serial", "process")
 
 
+class SpawnPool:
+    """Lazily-created ``spawn`` process pool with ordered, chunked mapping.
+
+    The reusable core of :class:`ProcessCompressionBackend`, also driving the
+    sweep engine's parallel point evaluation: the pool is created on first
+    use (sized to ``min(num_tasks, cpu_count)`` unless ``processes`` pins it),
+    ``map`` ships contiguous task chunks and returns results in task order,
+    and ``close`` tears the pool down so a later ``map`` lazily rebuilds it.
+
+    Tasks and results must be picklable; the mapped function must be a
+    module-level callable so it pickles by reference.
+    """
+
+    def __init__(self, processes: int | None = None) -> None:
+        if processes is not None and processes < 1:
+            raise ValueError(f"processes must be >= 1, got {processes}")
+        self._requested = processes
+        self._pool = None
+        self._processes = 0
+
+    def _ensure_pool(self, num_tasks: int) -> None:
+        if self._pool is not None:
+            return
+        import multiprocessing
+
+        self._processes = self._requested or max(1, min(num_tasks, os.cpu_count() or 1))
+        self._pool = multiprocessing.get_context("spawn").Pool(self._processes)
+
+    @property
+    def is_open(self) -> bool:
+        """True while an OS process pool is alive (created lazily by ``map``)."""
+        return self._pool is not None
+
+    def map(self, fn, tasks: Sequence) -> list:
+        """Apply ``fn`` to every task, one contiguous chunk per process."""
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        self._ensure_pool(len(tasks))
+        chunksize = max(1, len(tasks) // self._processes)
+        return self._pool.map(fn, tasks, chunksize=chunksize)
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+
 def validate_worker_backend(name: str) -> str:
     """Fail fast on unknown backend names (mirrors the collective validators)."""
     if name not in WORKER_BACKENDS:
@@ -101,29 +150,12 @@ class ProcessCompressionBackend(CompressionBackend):
     name = "process"
 
     def __init__(self, processes: int | None = None) -> None:
-        if processes is not None and processes < 1:
-            raise ValueError(f"processes must be >= 1, got {processes}")
-        self._requested = processes
-        self._pool = None
-        self._processes = 0
-
-    def _ensure_pool(self, num_tasks: int) -> None:
-        if self._pool is not None:
-            return
-        import multiprocessing
-
-        self._processes = self._requested or max(1, min(num_tasks, os.cpu_count() or 1))
-        self._pool = multiprocessing.get_context("spawn").Pool(self._processes)
+        self._pool = SpawnPool(processes)
 
     def compress_all(self, compressors, gradients, ratio):
-        tasks = [(c, g, ratio) for c, g in zip(compressors, gradients)]
-        self._ensure_pool(len(tasks))
         # One contiguous chunk of workers per process and per iteration.
-        chunksize = max(1, len(tasks) // self._processes)
-        return self._pool.map(_compress_task, tasks, chunksize=chunksize)
+        tasks = [(c, g, ratio) for c, g in zip(compressors, gradients)]
+        return self._pool.map(_compress_task, tasks)
 
     def close(self) -> None:
-        if self._pool is not None:
-            self._pool.terminate()
-            self._pool.join()
-            self._pool = None
+        self._pool.close()

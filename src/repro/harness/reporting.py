@@ -167,6 +167,42 @@ def format_link_utilization(schedule) -> str:
     return "\n".join(lines)
 
 
+#: Metrics ``format_sweep_table`` shows when the caller does not choose.
+_DEFAULT_SWEEP_METRICS = ("iteration_seconds", "speedup_vs_dense", "communication_seconds")
+
+
+def format_sweep_table(
+    result,
+    *,
+    metrics: tuple[str, ...] = _DEFAULT_SWEEP_METRICS,
+    title: str | None = None,
+) -> str:
+    """Render a :class:`~repro.harness.sweep.SweepResult` as an aligned table.
+
+    Columns are the workload, then only the knobs that actually vary across
+    the sweep (constant knobs are noise in a what-if comparison), then the
+    requested metric columns.  Accepts any object with ``records`` carrying
+    ``workload`` / ``config`` / ``metrics``.
+    """
+    records = list(result.records)
+    if not records:
+        return (title + "\n" if title else "") + "(no rows)"
+    varying = [
+        knob
+        for knob in records[0].config
+        if len({record.config.get(knob) for record in records}) > 1
+    ]
+    rows = [
+        {
+            "workload": record.workload,
+            **{knob: record.config.get(knob) for knob in varying},
+            **{metric: record.metrics.get(metric) for metric in metrics},
+        }
+        for record in records
+    ]
+    return format_table(rows, ["workload", *varying, *metrics], title=title)
+
+
 def format_speedup_summary(rows, *, group_by: str = "ratio") -> str:
     """Summarise benchmark-comparison rows grouped by ratio (the paper's bar groups)."""
     dict_rows = [_coerce_row(r) for r in rows]

@@ -1,0 +1,693 @@
+"""Declarative what-if sweep engine over the simulator's knob space.
+
+The repo exposes ~10 orthogonal knobs (compressor, ratio, bucket bytes,
+overlap policy, topology, collective algorithms, chunk pipelining, sparse
+dedup, cross-bucket lanes, scheduler backend); answering "which knobs for my
+job?" used to mean hand-writing a script per question.  This module composes
+those questions declaratively, in the ``mlmd_bench`` idiom of named workload
+specs crossed with a config grid:
+
+* :class:`WorkloadSpec` — the job being planned for: full-size gradient
+  dimension and communication-overhead fraction, plus the proxy gradient the
+  evaluator actually compresses (dimension-scaled like every Table 1 proxy).
+* :class:`SweepSpec` — workloads x a knob grid with explicit axes and
+  declarative :class:`KnobConstraint` implications (e.g. sparse dedup
+  requires the hierarchical all-gather).  :meth:`SweepSpec.expand` is exactly
+  the constrained cross-product, deduplicated, in deterministic order.
+* :func:`evaluate_point` — prices one :class:`SweepPoint` through the real
+  pipeline/timeline stack (compress a seeded proxy gradient, price the
+  collectives, simulate the iteration schedule) and returns a flat metrics
+  dict.
+* :class:`SweepCache` — memoizes the expensive layers (gradients,
+  compression results, :class:`~repro.distributed.CollectiveCost`s, batched
+  phase tables, dense baselines, whole point evaluations) keyed on
+  (topology, algorithm, payload, density, ...), so repeated points are
+  priced once.  Memoized results are bit-for-bit equal to memoization-off
+  runs — every cached value is the output of a deterministic pure function.
+* :func:`run_sweep` — executes a spec serially or across a ``spawn`` process
+  pool (:class:`~repro.distributed.backend.SpawnPool`, the machinery behind
+  ``TrainerConfig(worker_backend="process")``), returning a
+  :class:`SweepResult` whose versioned JSON rides the unified
+  ``BENCH_*`` artifact schema (:mod:`repro.harness.artifacts`).
+
+The auto-tuner (:mod:`repro.harness.tuner`) searches this grid and answers
+the production-facing query — "best config for my job on this fabric" —
+millions of times against a warm cache.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+import numpy as np
+
+from ..compressors.registry import available_compressors, create_compressor
+from ..gradients.synthetic import realistic_gradient
+from ..perfmodel.device import GPU_V100
+from ..pipeline import CompressionPipeline
+from ..distributed.backend import SpawnPool
+from ..distributed.schedule import (
+    validate_cross_bucket,
+    validate_overlap,
+    validate_scheduler_backend,
+)
+from ..distributed.timeline import TimelineModel, compute_time_for_overhead
+from ..distributed.topology import (
+    CollectiveModel,
+    SparseAggregateModel,
+    get_collective_algorithm,
+    get_topology,
+    validate_pipeline_chunks,
+)
+from .artifacts import bench_artifact, validate_bench_artifact
+from .configs import get_benchmark
+
+#: Every knob a sweep point carries, in canonical order.
+SWEEP_KNOBS: tuple[str, ...] = (
+    "compressor",
+    "ratio",
+    "bucket_bytes",
+    "overlap",
+    "topology",
+    "allreduce_algorithm",
+    "allgather_algorithm",
+    "pipeline_chunks",
+    "dedup_assumption",
+    "cross_bucket_pipeline",
+    "scheduler_backend",
+)
+
+#: Default value per knob for axes a spec does not sweep — the repo-wide
+#: defaults of :class:`~repro.distributed.TrainerConfig`, plus the 4 MiB DDP
+#: bucket budget and the paper's densest ratio.
+DEFAULT_KNOBS: dict = {
+    "compressor": "topk",
+    "ratio": 0.1,
+    "bucket_bytes": 4 * 2**20,
+    "overlap": "comm+compress",
+    "topology": "ethernet-4x8",
+    "allreduce_algorithm": "ring-allreduce",
+    "allgather_algorithm": "flat-allgather",
+    "pipeline_chunks": 1,
+    "dedup_assumption": None,
+    "cross_bucket_pipeline": False,
+    "scheduler_backend": "loop",
+}
+
+#: Execution backends :func:`run_sweep` accepts.
+SWEEP_BACKENDS: tuple[str, ...] = ("serial", "process")
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One named workload a sweep plans for.
+
+    ``dimension`` and ``comm_overhead`` are the full-size facts (Table 1
+    style: gradient elements and the fraction of a dense baseline iteration
+    spent communicating).  The evaluator compresses a ``proxy_elements``-sized
+    seeded gradient and scales wire volume and compression cost back up by
+    ``dimension / proxy_elements`` — the same proxy discipline every
+    benchmark uses, which keeps a single point evaluation in the milliseconds
+    while preserving the full-size compute/communication balance.
+    """
+
+    name: str
+    dimension: int
+    comm_overhead: float
+    proxy_elements: int = 32768
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("workload name must be non-empty")
+        if self.proxy_elements < 64:
+            raise ValueError(f"proxy_elements must be >= 64, got {self.proxy_elements}")
+        if self.dimension < self.proxy_elements:
+            raise ValueError(
+                f"dimension ({self.dimension}) must be >= proxy_elements "
+                f"({self.proxy_elements})"
+            )
+        if not 0.0 < self.comm_overhead < 1.0:
+            raise ValueError(f"comm_overhead must be in (0, 1), got {self.comm_overhead}")
+
+    @classmethod
+    def from_benchmark(cls, name: str, *, proxy_elements: int = 32768, seed: int = 0):
+        """Build the workload matching a Table 1 benchmark's full-size facts."""
+        config = get_benchmark(name)
+        return cls(
+            name=config.name,
+            dimension=config.full_dimension,
+            comm_overhead=config.comm_overhead,
+            proxy_elements=proxy_elements,
+            seed=seed,
+        )
+
+    @property
+    def dimension_scale(self) -> float:
+        return self.dimension / self.proxy_elements
+
+    def proxy_bucket_bytes(self, bucket_bytes: int | None) -> int | None:
+        """A full-size bucket budget rescaled to the proxy gradient (>= 4 bytes)."""
+        if bucket_bytes is None:
+            return None
+        return max(int(round(bucket_bytes / self.dimension_scale)), 4)
+
+
+@dataclass(frozen=True)
+class KnobConstraint:
+    """Declarative implication between two knobs.
+
+    Whenever ``knob`` takes a value outside ``inactive``, ``target`` must be
+    one of ``allowed`` — e.g. "sparse dedup (any non-``None`` assumption)
+    requires the hierarchical all-gather".  Points violating the implication
+    are dropped from the expanded grid.
+    """
+
+    name: str
+    knob: str
+    inactive: tuple
+    target: str
+    allowed: tuple
+
+    def __post_init__(self) -> None:
+        for knob in (self.knob, self.target):
+            if knob not in SWEEP_KNOBS:
+                raise ValueError(f"unknown knob {knob!r}; known: {list(SWEEP_KNOBS)}")
+
+    def admits(self, config: Mapping) -> bool:
+        if config[self.knob] in self.inactive:
+            return True
+        return config[self.target] in self.allowed
+
+
+#: Structural implications every default sweep honours: only the hierarchical
+#: all-gather has a per-node reduce point to deduplicate at, and only its
+#: multi-link phases can chunk-pipeline.
+DEFAULT_CONSTRAINTS: tuple[KnobConstraint, ...] = (
+    KnobConstraint(
+        name="dedup-requires-hierarchical-allgather",
+        knob="dedup_assumption",
+        inactive=(None,),
+        target="allgather_algorithm",
+        allowed=("hierarchical",),
+    ),
+    KnobConstraint(
+        name="chunk-pipelining-requires-hierarchical-allgather",
+        knob="pipeline_chunks",
+        inactive=(1,),
+        target="allgather_algorithm",
+        allowed=("hierarchical",),
+    ),
+)
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One fully-resolved (workload, config) grid point.
+
+    ``knobs`` carries every knob in :data:`SWEEP_KNOBS` order, which makes
+    points hashable (deduplication, cache keys) and their ordering
+    deterministic.
+    """
+
+    workload: str
+    knobs: tuple[tuple[str, object], ...]
+
+    @property
+    def config(self) -> dict:
+        return dict(self.knobs)
+
+    @property
+    def key(self) -> str:
+        """Stable human-readable identity, e.g. for provenance traces."""
+        settings = ",".join(f"{name}={value}" for name, value in self.knobs)
+        return f"{self.workload}|{settings}"
+
+    @classmethod
+    def from_config(cls, workload: str, config: Mapping) -> "SweepPoint":
+        """Build a point from a config mapping, filling defaults, in knob order."""
+        unknown = set(config) - set(SWEEP_KNOBS)
+        if unknown:
+            raise ValueError(f"unknown knobs {sorted(unknown)}; known: {list(SWEEP_KNOBS)}")
+        return cls(
+            workload=workload,
+            knobs=tuple((k, config.get(k, DEFAULT_KNOBS[k])) for k in SWEEP_KNOBS),
+        )
+
+
+_KNOB_VALIDATORS: dict[str, Callable] = {
+    "overlap": validate_overlap,
+    "cross_bucket_pipeline": validate_cross_bucket,
+    "scheduler_backend": validate_scheduler_backend,
+    "pipeline_chunks": validate_pipeline_chunks,
+    "topology": get_topology,
+    "allreduce_algorithm": lambda name: get_collective_algorithm(name, op="allreduce"),
+    "allgather_algorithm": lambda name: get_collective_algorithm(name, op="allgather"),
+}
+
+
+def _validate_knob_value(knob: str, value) -> None:
+    """Fail fast on invalid axis values at spec-construction time."""
+    validator = _KNOB_VALIDATORS.get(knob)
+    if validator is not None:
+        validator(value)
+        return
+    if knob == "compressor":
+        if value not in available_compressors():
+            raise ValueError(
+                f"unknown compressor {value!r}; known: {available_compressors()}"
+            )
+    elif knob == "ratio":
+        if not 0.0 < float(value) <= 1.0:
+            raise ValueError(f"ratio must be in (0, 1], got {value}")
+    elif knob == "bucket_bytes":
+        if value is not None and (not isinstance(value, int) or value < 1):
+            raise ValueError(f"bucket_bytes must be a positive int or None, got {value!r}")
+    elif knob == "dedup_assumption":
+        if value is not None:
+            SparseAggregateModel(value)
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """Named workloads x a declarative knob grid, with constraints.
+
+    ``axes`` maps knob names to the values to sweep; unswept knobs ride at
+    their :data:`DEFAULT_KNOBS` value.  ``constraints`` is any iterable of
+    objects with an ``admits(config) -> bool`` method (plain callables are
+    also accepted); points any constraint rejects are dropped.
+    """
+
+    workloads: tuple[WorkloadSpec, ...]
+    axes: Mapping[str, tuple]
+    constraints: tuple = DEFAULT_CONSTRAINTS
+
+    def __post_init__(self) -> None:
+        workloads = tuple(self.workloads)
+        if not workloads:
+            raise ValueError("need at least one workload")
+        names = [w.name for w in workloads]
+        if len(set(names)) != len(names):
+            raise ValueError(f"workload names must be unique, got {names}")
+        object.__setattr__(self, "workloads", workloads)
+        axes = {name: tuple(values) for name, values in dict(self.axes).items()}
+        unknown = set(axes) - set(SWEEP_KNOBS)
+        if unknown:
+            raise ValueError(f"unknown axes {sorted(unknown)}; known: {list(SWEEP_KNOBS)}")
+        for name, values in axes.items():
+            if not values:
+                raise ValueError(f"axis {name!r} must list at least one value")
+            for value in values:
+                _validate_knob_value(name, value)
+        object.__setattr__(self, "axes", axes)
+        object.__setattr__(self, "constraints", tuple(self.constraints))
+
+    def _admitted(self, config: Mapping) -> bool:
+        for constraint in self.constraints:
+            admits = getattr(constraint, "admits", constraint)
+            if not admits(config):
+                return False
+        return True
+
+    def expand(self) -> list[SweepPoint]:
+        """The constrained cross-product, deduplicated, in deterministic order.
+
+        Workloads vary slowest, then knobs in :data:`SWEEP_KNOBS` order with
+        each axis traversed as given.  Duplicate points (an axis listing a
+        value twice) collapse to their first occurrence.
+        """
+        grid = [self.axes.get(knob, (DEFAULT_KNOBS[knob],)) for knob in SWEEP_KNOBS]
+        points: list[SweepPoint] = []
+        seen: set[SweepPoint] = set()
+        for workload in self.workloads:
+            for combo in itertools.product(*grid):
+                config = dict(zip(SWEEP_KNOBS, combo))
+                if not self._admitted(config):
+                    continue
+                point = SweepPoint(workload=workload.name, knobs=tuple(zip(SWEEP_KNOBS, combo)))
+                if point not in seen:
+                    seen.add(point)
+                    points.append(point)
+        return points
+
+
+# -- memoization ---------------------------------------------------------------
+
+
+@dataclass
+class SweepCache:
+    """Layered memo for sweep evaluation, shared across points and queries.
+
+    Each layer caches one deterministic pure function of its key, so cached
+    and uncached evaluation are bit-for-bit identical; ``hits``/``misses``
+    decompose cache-warm vs cache-cold throughput in the sweep benchmark.
+    """
+
+    gradients: dict = field(default_factory=dict)
+    compressions: dict = field(default_factory=dict)
+    collective_costs: dict = field(default_factory=dict)
+    phase_tables: dict = field(default_factory=dict)
+    baselines: dict = field(default_factory=dict)
+    points: dict = field(default_factory=dict)
+    hits: int = 0
+    misses: int = 0
+
+    def fetch(self, store: dict, key, build: Callable):
+        if key in store:
+            self.hits += 1
+            return store[key]
+        self.misses += 1
+        value = store[key] = build()
+        return value
+
+    def stats(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "points": len(self.points),
+            "compressions": len(self.compressions),
+            "collective_costs": len(self.collective_costs),
+            "phase_tables": len(self.phase_tables),
+        }
+
+    def clear(self) -> None:
+        for store in (
+            self.gradients,
+            self.compressions,
+            self.collective_costs,
+            self.phase_tables,
+            self.baselines,
+            self.points,
+        ):
+            store.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+#: Process-wide default cache (each spawn-pool worker gets its own copy of
+#: the module, hence its own cache).
+_GLOBAL_CACHE = SweepCache()
+
+
+def global_sweep_cache() -> SweepCache:
+    """The process-wide cache :func:`run_sweep` uses when none is passed."""
+    return _GLOBAL_CACHE
+
+
+def clear_sweep_caches() -> None:
+    """Reset the process-wide cache (e.g. to measure cache-cold throughput)."""
+    _GLOBAL_CACHE.clear()
+
+
+class _MemoizedCollective:
+    """Duck-typed :class:`CollectiveModel` pricing through a :class:`SweepCache`.
+
+    ``CollectiveCost``/``PhaseTable`` construction is keyed on (topology,
+    algorithm, knobs, payload, density) — exactly the signature of the
+    underlying pure pricing functions — so one cache serves every timeline,
+    workload and sweep sharing a fabric.
+    """
+
+    def __init__(self, inner: CollectiveModel, cache: SweepCache) -> None:
+        self._inner = inner
+        self._cache = cache
+        dedup = inner.allgather_dedup.assumption if inner.allgather_dedup else None
+        self._key = (
+            inner.topology.name or id(inner.topology),
+            inner.allreduce_algorithm,
+            inner.allgather_algorithm,
+            inner.pipeline_chunks,
+            dedup,
+        )
+
+    @property
+    def topology(self):
+        return self._inner.topology
+
+    @property
+    def num_workers(self) -> int:
+        return self._inner.num_workers
+
+    def allreduce_cost(self, num_bytes: float):
+        key = (*self._key, "allreduce", num_bytes)
+        return self._cache.fetch(
+            self._cache.collective_costs, key, lambda: self._inner.allreduce_cost(num_bytes)
+        )
+
+    def allgather_cost(self, payload_bytes_per_worker: float, *, density: float | None = None):
+        key = (*self._key, "allgather", payload_bytes_per_worker, density)
+        return self._cache.fetch(
+            self._cache.collective_costs,
+            key,
+            lambda: self._inner.allgather_cost(payload_bytes_per_worker, density=density),
+        )
+
+    def allgather_phase_table(self, payloads, densities):
+        key = (*self._key, "table", tuple(np.asarray(payloads, dtype=float).tolist()),
+               tuple(densities))
+        return self._cache.fetch(
+            self._cache.phase_tables,
+            key,
+            lambda: self._inner.allgather_phase_table(payloads, densities),
+        )
+
+    def allreduce_time(self, num_bytes: float) -> float:
+        return self.allreduce_cost(num_bytes).total
+
+    def allgather_time(self, payload_bytes_per_worker: float) -> float:
+        return self.allgather_cost(payload_bytes_per_worker).total
+
+
+# -- point evaluation ----------------------------------------------------------
+
+
+def _proxy_gradient(workload: WorkloadSpec, cache: SweepCache | None) -> np.ndarray:
+    key = (workload.proxy_elements, workload.seed)
+    build = lambda: realistic_gradient(workload.proxy_elements, seed=workload.seed)  # noqa: E731
+    if cache is None:
+        return build()
+    return cache.fetch(cache.gradients, key, build)
+
+
+def _compress_proxy(workload: WorkloadSpec, config: Mapping, cache: SweepCache | None):
+    """Compress the workload's proxy gradient under the point's pipeline knobs.
+
+    A fresh compressor is built per (cache-miss) call so adaptive compressor
+    state can never leak between points.
+    """
+    proxy_bucket = workload.proxy_bucket_bytes(config["bucket_bytes"])
+    key = (workload.proxy_elements, workload.seed, config["compressor"], proxy_bucket,
+           config["ratio"])
+
+    def build():
+        gradient = _proxy_gradient(workload, cache)
+        compressor = create_compressor(config["compressor"])
+        if proxy_bucket is not None:
+            compressor = CompressionPipeline(compressor, bucket_bytes=proxy_bucket)
+        return compressor.compress(gradient, config["ratio"])
+
+    if cache is None:
+        return build()
+    return cache.fetch(cache.compressions, key, build)
+
+
+def _build_timeline(workload: WorkloadSpec, config: Mapping, cache: SweepCache | None):
+    topology = get_topology(config["topology"])
+    collective = CollectiveModel(
+        topology=topology,
+        allreduce_algorithm=config["allreduce_algorithm"],
+        allgather_algorithm=config["allgather_algorithm"],
+        pipeline_chunks=config["pipeline_chunks"],
+        allgather_dedup=(
+            SparseAggregateModel(config["dedup_assumption"])
+            if config["dedup_assumption"] is not None
+            else None
+        ),
+    )
+    if cache is not None:
+        collective = _MemoizedCollective(collective, cache)
+    compute = compute_time_for_overhead(
+        topology.inter_node, topology.num_workers, workload.dimension, workload.comm_overhead
+    )
+    return TimelineModel(
+        network=topology.inter_node,
+        device=GPU_V100,
+        compute_seconds=compute,
+        num_workers=topology.num_workers,
+        model_dimension=workload.proxy_elements,
+        dimension_scale=workload.dimension_scale,
+        overlap=config["overlap"],
+        collective=collective,
+        cross_bucket_pipeline=config["cross_bucket_pipeline"],
+        scheduler_backend=config["scheduler_backend"],
+    )
+
+
+def _dense_baseline_seconds(
+    workload: WorkloadSpec, config: Mapping, timeline: TimelineModel, cache: SweepCache | None
+) -> float:
+    key = (
+        workload.dimension,
+        workload.comm_overhead,
+        workload.proxy_elements,
+        config["topology"],
+        config["allreduce_algorithm"],
+        config["pipeline_chunks"],
+    )
+    build = lambda: timeline.baseline_iteration().total  # noqa: E731
+    if cache is None:
+        return build()
+    return cache.fetch(cache.baselines, key, build)
+
+
+def evaluate_point(
+    workload: WorkloadSpec, point: SweepPoint, *, cache: SweepCache | None = None
+) -> dict:
+    """Price one sweep point; returns a flat metrics dict.
+
+    Deterministic in its inputs: the proxy gradient is seeded, compression
+    and collective pricing are pure, and the schedule simulator is
+    event-driven — which is what makes both the memoized and the
+    process-pool execution paths bit-for-bit equal to a serial
+    memoization-off run.
+    """
+    if point.workload != workload.name:
+        raise ValueError(
+            f"point belongs to workload {point.workload!r}, not {workload.name!r}"
+        )
+    if cache is not None:
+        cached = cache.points.get((workload, point))
+        if cached is not None:
+            cache.hits += 1
+            return dict(cached)
+    config = point.config
+    result = _compress_proxy(workload, config, cache)
+    timeline = _build_timeline(workload, config, cache)
+    timing = timeline.compressed_iteration([result])
+    baseline = _dense_baseline_seconds(workload, config, timeline, cache)
+    metrics = {
+        "iteration_seconds": timing.total,
+        "serialized_seconds": timing.serialized,
+        "overlap_saving": timing.overlap_saving,
+        "compute_seconds": timing.compute,
+        "compression_seconds": timing.compression,
+        "communication_seconds": timing.communication,
+        "dense_baseline_seconds": baseline,
+        "speedup_vs_dense": baseline / timing.total if timing.total > 0.0 else float("inf"),
+        "dedup_ratio": timing.dedup_ratio,
+        "achieved_ratio": result.achieved_ratio,
+        "num_buckets": int(result.metadata.get("num_buckets", 1)),
+        "num_workers": timeline.num_workers,
+    }
+    if cache is not None:
+        cache.misses += 1
+        cache.points[(workload, point)] = dict(metrics)
+    return metrics
+
+
+# -- execution -----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SweepRecord:
+    """One evaluated point: workload name, full config, flat metrics."""
+
+    workload: str
+    config: dict
+    metrics: dict
+
+    @property
+    def point(self) -> SweepPoint:
+        return SweepPoint.from_config(self.workload, self.config)
+
+
+@dataclass
+class SweepResult:
+    """All records of one sweep, serializable onto the unified artifact schema."""
+
+    workloads: tuple[WorkloadSpec, ...]
+    records: list[SweepRecord]
+    benchmark: str = "sweep"
+
+    def to_json_dict(self) -> dict:
+        """Versioned JSON payload in the shared ``BENCH_*`` envelope."""
+        return bench_artifact(
+            self.benchmark,
+            params={
+                "workloads": [
+                    {
+                        "name": w.name,
+                        "dimension": w.dimension,
+                        "comm_overhead": w.comm_overhead,
+                        "proxy_elements": w.proxy_elements,
+                        "seed": w.seed,
+                    }
+                    for w in self.workloads
+                ],
+            },
+            records=[
+                {"workload": r.workload, "config": dict(r.config), "metrics": dict(r.metrics)}
+                for r in self.records
+            ],
+        )
+
+    @classmethod
+    def from_json_dict(cls, payload: dict) -> "SweepResult":
+        validate_bench_artifact(payload)
+        workloads = tuple(
+            WorkloadSpec(**entry) for entry in payload["params"].get("workloads", [])
+        )
+        records = [
+            SweepRecord(
+                workload=entry["workload"],
+                config=dict(entry["config"]),
+                metrics=dict(entry["metrics"]),
+            )
+            for entry in payload["records"]
+        ]
+        return cls(workloads=workloads, records=records, benchmark=payload["benchmark"])
+
+
+def _evaluate_task(task: tuple[WorkloadSpec, SweepPoint, bool]) -> dict:
+    """Pool-worker body (module-level so it pickles by reference)."""
+    workload, point, memoize = task
+    return evaluate_point(workload, point, cache=_GLOBAL_CACHE if memoize else None)
+
+
+def run_sweep(
+    spec: SweepSpec,
+    *,
+    backend: str = "serial",
+    processes: int | None = None,
+    memoize: bool = True,
+    cache: SweepCache | None = None,
+) -> SweepResult:
+    """Expand ``spec`` and evaluate every point.
+
+    ``backend="process"`` maps the points over a ``spawn`` process pool
+    (ordered, chunked — the worker-compression machinery); each pool process
+    memoizes into its own module-level cache.  ``memoize=False`` bypasses all
+    caching; results are bit-for-bit identical either way.
+    """
+    if backend not in SWEEP_BACKENDS:
+        raise ValueError(f"unknown sweep backend {backend!r}; known: {list(SWEEP_BACKENDS)}")
+    points = spec.expand()
+    by_name = {workload.name: workload for workload in spec.workloads}
+    if backend == "process":
+        pool = SpawnPool(processes)
+        try:
+            metrics = pool.map(
+                _evaluate_task, [(by_name[p.workload], p, memoize) for p in points]
+            )
+        finally:
+            pool.close()
+    else:
+        active = cache if cache is not None else (_GLOBAL_CACHE if memoize else None)
+        metrics = [evaluate_point(by_name[p.workload], p, cache=active) for p in points]
+    records = [
+        SweepRecord(workload=p.workload, config=p.config, metrics=m)
+        for p, m in zip(points, metrics)
+    ]
+    return SweepResult(workloads=spec.workloads, records=records)

@@ -1,0 +1,243 @@
+"""Property suite for the declarative sweep engine.
+
+Three contracts, hypothesis-driven:
+
+* **expansion** — ``SweepSpec.expand()`` is exactly the constrained
+  cross-product of the axes (workloads slowest, knobs in canonical order),
+  with no duplicates, defaults filled for unswept knobs, and every
+  constraint honoured;
+* **memoization transparency** — a memoized run is bit-for-bit equal to a
+  memoization-off run of the same spec;
+* **process-pool transparency** — ``backend="process"`` results equal
+  serial results on fixed seeds.
+"""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.harness import (
+    DEFAULT_CONSTRAINTS,
+    DEFAULT_KNOBS,
+    SWEEP_KNOBS,
+    KnobConstraint,
+    SweepCache,
+    SweepPoint,
+    SweepResult,
+    SweepSpec,
+    WorkloadSpec,
+    evaluate_point,
+    run_sweep,
+)
+
+#: Small but structurally diverse axis pools the property tests draw from.
+AXIS_POOLS = {
+    "compressor": ("topk", "dgc", "randomk"),
+    "ratio": (0.1, 0.05, 0.01),
+    "bucket_bytes": (2**20, 4 * 2**20, None),
+    "overlap": ("none", "comm", "comm+compress"),
+    "topology": ("ethernet-4x8", "cluster1", "torus-2d"),
+    "allreduce_algorithm": ("ring-allreduce", "hierarchical"),
+    "allgather_algorithm": ("flat-allgather", "hierarchical"),
+    "pipeline_chunks": (1, 4),
+    "dedup_assumption": (None, "uniform", "identical"),
+    "cross_bucket_pipeline": (False, True),
+    "scheduler_backend": ("loop", "vectorized"),
+}
+
+
+def _workload(name="wl", seed=0):
+    return WorkloadSpec(
+        name=name, dimension=500_000, comm_overhead=0.6, proxy_elements=2048, seed=seed
+    )
+
+
+@st.composite
+def axes_strategy(draw):
+    """A random subset of knobs, each with a random non-empty subset of values."""
+    knobs = draw(
+        st.lists(st.sampled_from(sorted(AXIS_POOLS)), min_size=1, max_size=4, unique=True)
+    )
+    axes = {}
+    for knob in knobs:
+        pool = AXIS_POOLS[knob]
+        count = draw(st.integers(min_value=1, max_value=len(pool)))
+        axes[knob] = pool[:count]
+    return axes
+
+
+class TestExpansion:
+    @settings(max_examples=150, deadline=None)
+    @given(axes=axes_strategy())
+    def test_expand_is_exactly_the_constrained_cross_product(self, axes):
+        spec = SweepSpec(workloads=(_workload(),), axes=axes)
+        points = spec.expand()
+        # Reference: brute-force product in the same canonical order.
+        grid = [axes.get(knob, (DEFAULT_KNOBS[knob],)) for knob in SWEEP_KNOBS]
+        expected = []
+        for combo in itertools.product(*grid):
+            config = dict(zip(SWEEP_KNOBS, combo))
+            if all(c.admits(config) for c in DEFAULT_CONSTRAINTS):
+                expected.append(SweepPoint(workload="wl", knobs=tuple(zip(SWEEP_KNOBS, combo))))
+        assert points == expected
+
+    @settings(max_examples=150, deadline=None)
+    @given(axes=axes_strategy())
+    def test_no_duplicates_even_with_repeated_axis_values(self, axes):
+        knob = next(iter(axes))
+        doubled = {**axes, knob: axes[knob] + axes[knob]}
+        spec = SweepSpec(workloads=(_workload(),), axes=doubled)
+        points = spec.expand()
+        assert len(points) == len(set(points))
+        assert points == SweepSpec(workloads=(_workload(),), axes=axes).expand()
+
+    def test_every_point_carries_every_knob_with_defaults_filled(self):
+        spec = SweepSpec(workloads=(_workload(),), axes={"ratio": (0.1, 0.01)})
+        for point in spec.expand():
+            config = point.config
+            assert set(config) == set(SWEEP_KNOBS)
+            for knob in SWEEP_KNOBS:
+                if knob != "ratio":
+                    assert config[knob] == DEFAULT_KNOBS[knob]
+
+    def test_constraints_drop_dedup_without_hierarchical(self):
+        spec = SweepSpec(
+            workloads=(_workload(),),
+            axes={
+                "dedup_assumption": (None, "uniform"),
+                "allgather_algorithm": ("flat-allgather", "hierarchical"),
+            },
+        )
+        configs = [p.config for p in spec.expand()]
+        assert len(configs) == 3  # 2x2 minus (uniform, flat)
+        for config in configs:
+            if config["dedup_assumption"] is not None:
+                assert config["allgather_algorithm"] == "hierarchical"
+
+    def test_workloads_vary_slowest_and_order_is_deterministic(self):
+        spec = SweepSpec(
+            workloads=(_workload("a"), _workload("b", seed=1)),
+            axes={"ratio": (0.1, 0.01)},
+        )
+        assert [(p.workload, p.config["ratio"]) for p in spec.expand()] == [
+            ("a", 0.1),
+            ("a", 0.01),
+            ("b", 0.1),
+            ("b", 0.01),
+        ]
+
+    def test_custom_callable_constraint(self):
+        spec = SweepSpec(
+            workloads=(_workload(),),
+            axes={"ratio": (0.1, 0.01)},
+            constraints=(lambda config: config["ratio"] < 0.05,),
+        )
+        assert [p.config["ratio"] for p in spec.expand()] == [0.01]
+
+
+class TestSpecValidation:
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(ValueError, match="unknown axes"):
+            SweepSpec(workloads=(_workload(),), axes={"compression": ("topk",)})
+
+    def test_invalid_axis_value_rejected_at_construction(self):
+        for axes in (
+            {"compressor": ("brotli",)},
+            {"ratio": (1.5,)},
+            {"overlap": ("full",)},
+            {"topology": ("my-cluster",)},
+            {"bucket_bytes": (-1,)},
+            {"dedup_assumption": ("sometimes",)},
+        ):
+            with pytest.raises(ValueError):
+                SweepSpec(workloads=(_workload(),), axes=axes)
+
+    def test_duplicate_workload_names_rejected(self):
+        with pytest.raises(ValueError, match="unique"):
+            SweepSpec(workloads=(_workload(), _workload(seed=1)), axes={"ratio": (0.1,)})
+
+    def test_workload_validation(self):
+        with pytest.raises(ValueError, match="comm_overhead"):
+            WorkloadSpec(name="w", dimension=100_000, comm_overhead=1.5)
+        with pytest.raises(ValueError, match="dimension"):
+            WorkloadSpec(name="w", dimension=8, comm_overhead=0.5, proxy_elements=4096)
+
+    def test_constraint_rejects_unknown_knob(self):
+        with pytest.raises(ValueError, match="unknown knob"):
+            KnobConstraint(
+                name="bad", knob="sparsity", inactive=(None,), target="ratio", allowed=(0.1,)
+            )
+
+    def test_unknown_backend_rejected(self):
+        spec = SweepSpec(workloads=(_workload(),), axes={"ratio": (0.1,)})
+        with pytest.raises(ValueError, match="unknown sweep backend"):
+            run_sweep(spec, backend="threads")
+
+
+EQUIVALENCE_SPEC_AXES = {
+    "compressor": ("topk", "dgc"),
+    "ratio": (0.1, 0.01),
+    "overlap": ("none", "comm+compress"),
+    "allgather_algorithm": ("flat-allgather", "hierarchical"),
+    "dedup_assumption": (None, "uniform"),
+    "cross_bucket_pipeline": (False, True),
+}
+
+
+class TestExecutionEquivalence:
+    @pytest.fixture(scope="class")
+    def spec(self):
+        return SweepSpec(workloads=(_workload(),), axes=EQUIVALENCE_SPEC_AXES)
+
+    @pytest.fixture(scope="class")
+    def uncached(self, spec):
+        return run_sweep(spec, memoize=False)
+
+    def test_memoized_equals_memoization_off_bit_for_bit(self, spec, uncached):
+        cache = SweepCache()
+        memoized = run_sweep(spec, cache=cache)
+        assert memoized.records == uncached.records
+        assert cache.misses > 0
+
+    def test_warm_cache_replays_bit_for_bit(self, spec, uncached):
+        cache = SweepCache()
+        run_sweep(spec, cache=cache)
+        hits_before = cache.hits
+        warm = run_sweep(spec, cache=cache)
+        assert warm.records == uncached.records
+        # Every point replays from the point-level cache.
+        assert cache.hits - hits_before == len(uncached.records)
+
+    def test_process_pool_equals_serial_bit_for_bit(self, spec, uncached):
+        pooled = run_sweep(spec, backend="process", processes=2)
+        assert pooled.records == uncached.records
+
+    def test_evaluate_point_rejects_foreign_workload(self):
+        point = SweepPoint.from_config("other", {})
+        with pytest.raises(ValueError, match="belongs to workload"):
+            evaluate_point(_workload(), point)
+
+
+class TestSerialization:
+    def test_json_round_trip_is_lossless(self):
+        spec = SweepSpec(
+            workloads=(_workload(),),
+            axes={"ratio": (0.1, 0.01), "bucket_bytes": (2**20, None)},
+        )
+        result = run_sweep(spec, memoize=False)
+        payload = result.to_json_dict()
+        assert payload["schema"] == "sidco.bench-artifact"
+        back = SweepResult.from_json_dict(payload)
+        assert back.workloads == result.workloads
+        assert back.records == result.records
+
+    def test_point_key_is_stable_and_unique(self):
+        spec = SweepSpec(
+            workloads=(_workload(),),
+            axes={"ratio": (0.1, 0.01), "overlap": ("none", "comm")},
+        )
+        keys = [p.key for p in spec.expand()]
+        assert len(set(keys)) == len(keys)
+        assert all(key.startswith("wl|") for key in keys)

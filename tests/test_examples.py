@@ -32,6 +32,11 @@ EXAMPLES = [
         "Loss vs simulated wall-clock time",
     ),
     ("microbenchmark_report", {"models": ("vgg16",), "sample_size": 20_000}, "vgg16"),
+    (
+        "whatif_sweep",
+        {"dimension": 200_000, "proxy_elements": 2048},
+        "autotune best config",
+    ),
 ]
 
 

@@ -1,0 +1,222 @@
+"""Compression-ratio x straggler-tolerance tradeoff under fault injection.
+
+The paper's comm-bound argument says aggressive compression shrinks the
+communication share of an iteration.  On an unreliable cluster that cuts both
+ways, and this benchmark measures the interaction on two fabrics:
+
+* **Compute stragglers** — a worker whose backprop/compress lane runs ``c``
+  times slower stretches the cluster iteration by roughly
+  ``(c * compute + comm) / (compute + comm)``.  Compression shrinks ``comm``,
+  so the *same* straggler hurts *more* at aggressive ratios: compression makes
+  the cluster relatively **less** tolerant of compute stragglers.
+* **Link degradation** — a worker whose transfers run ``d`` times slower
+  stretches the iteration via the comm share instead, so compression
+  **protects**: the overhead at ratio 0.01 is below the overhead at 0.1.
+* **Mitigation policies** — ``backup-workers`` (cut the slowest k) and the
+  SAGN-style ``time-window`` accumulation bound the overhead at the price of
+  dropped gradients; ``full-sync`` is today's barrier.
+
+Acceptance bars, each checked on *every* preset:
+
+* homogeneous (severity 1.0, full-sync) points report an overhead of exactly
+  1.0 — the fault layer at defaults is bit-for-bit the clean schedule,
+* compute-straggler overhead is strictly larger at ratio 0.01 than at 0.1,
+* link-degradation overhead is strictly smaller at ratio 0.01 than at 0.1,
+* both mitigation policies price at or below the full-sync barrier, and
+  ``backup-workers`` strictly cuts the severity-4 straggler's overhead.
+
+Results land in ``BENCH_straggler.json`` at the repo root.  Run with
+``PYTHONPATH=src python -m pytest benchmarks/test_straggler_tolerance.py -v``.
+Every evaluation is proxy-scale, so ``SIDCO_SMOKE_DIMENSION`` does not shrink
+the workload; the CI smoke runs the full assertions and only skips the
+artifact write.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.harness import SweepCache, WorkloadSpec, evaluate_point
+from repro.harness.sweep import SweepPoint
+
+SMOKE = "SIDCO_SMOKE_DIMENSION" in os.environ
+
+ARTIFACT_PATH = Path(__file__).resolve().parents[1] / "BENCH_straggler.json"
+
+#: Fabrics the tradeoff is measured on: the paper-style two-level Ethernet
+#: cluster and the multi-level torus.
+PRESETS: tuple[str, ...] = ("ethernet-4x8", "torus-2d")
+RATIOS: tuple[float, ...] = (0.1, 0.01)
+SEVERITIES: tuple[float, ...] = (1.0, 2.0, 4.0)
+LINK_FACTORS: tuple[float, ...] = (4.0,)
+
+#: Mitigation policies compared at every severity (label -> fault knobs).
+POLICIES: dict[str, dict] = {
+    "full-sync": {"sync_policy": "full-sync"},
+    "backup-1": {"sync_policy": "backup-workers", "backup_workers": 1},
+    "window-1.25": {"sync_policy": "time-window", "time_window_factor": 1.25},
+}
+
+#: The most communication-bound Table 1 job (LSTM-PTB, 94% comm overhead) —
+#: where the compression x straggler interaction is largest.
+WORKLOAD = WorkloadSpec(name="lstm-ptb", dimension=66_034_000, comm_overhead=0.94)
+
+_CACHE = SweepCache()
+
+
+def _evaluate(preset: str, ratio: float, **fault_knobs) -> dict:
+    point = SweepPoint.from_config(
+        WORKLOAD.name, {"topology": preset, "ratio": ratio, **fault_knobs}
+    )
+    return {
+        "config": point.config,
+        "metrics": evaluate_point(WORKLOAD, point, cache=_CACHE),
+    }
+
+
+def _grid() -> list[dict]:
+    """Every measured cell: presets x ratios x (severities x policies + links)."""
+    rows = []
+    for preset in PRESETS:
+        for ratio in RATIOS:
+            for severity in SEVERITIES:
+                for label, knobs in POLICIES.items():
+                    row = _evaluate(
+                        preset, ratio, straggler_severity=severity, **knobs
+                    )
+                    row["policy"] = label
+                    row["fault"] = f"compute-x{severity:g}"
+                    rows.append(row)
+            for factor in LINK_FACTORS:
+                row = _evaluate(preset, ratio, link_degradation=factor)
+                row["policy"] = "full-sync"
+                row["fault"] = f"link-x{factor:g}"
+                rows.append(row)
+    return rows
+
+
+def _overhead(rows, preset, ratio, fault, policy) -> float:
+    for row in rows:
+        if (
+            row["config"]["topology"] == preset
+            and row["config"]["ratio"] == ratio
+            and row["fault"] == fault
+            and row["policy"] == policy
+        ):
+            return row["metrics"]["straggler_overhead"]
+    raise KeyError((preset, ratio, fault, policy))
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return _grid()
+
+
+def test_homogeneous_points_pin_clean_schedule_exactly(grid):
+    for preset in PRESETS:
+        for ratio in RATIOS:
+            for policy in POLICIES:
+                row_overhead = _overhead(grid, preset, ratio, "compute-x1", policy)
+                assert row_overhead == 1.0, (preset, ratio, policy)
+
+
+def test_compression_reduces_compute_straggler_tolerance(grid):
+    # The same 4x compute straggler hurts strictly more at the aggressive
+    # ratio on every fabric: compression shrinks the comm share it hides in.
+    for preset in PRESETS:
+        mild = _overhead(grid, preset, 0.1, "compute-x4", "full-sync")
+        aggressive = _overhead(grid, preset, 0.01, "compute-x4", "full-sync")
+        assert aggressive > mild, (preset, mild, aggressive)
+
+
+def test_compression_protects_against_link_degradation(grid):
+    for preset in PRESETS:
+        mild = _overhead(grid, preset, 0.1, "link-x4", "full-sync")
+        aggressive = _overhead(grid, preset, 0.01, "link-x4", "full-sync")
+        assert aggressive < mild, (preset, mild, aggressive)
+
+
+def test_overhead_monotone_in_severity(grid):
+    for preset in PRESETS:
+        for ratio in RATIOS:
+            overheads = [
+                _overhead(grid, preset, ratio, f"compute-x{s:g}", "full-sync")
+                for s in SEVERITIES
+            ]
+            assert overheads == sorted(overheads), (preset, ratio, overheads)
+
+
+def test_mitigation_policies_bound_the_barrier(grid):
+    for preset in PRESETS:
+        for ratio in RATIOS:
+            for severity in SEVERITIES:
+                fault = f"compute-x{severity:g}"
+                full = _overhead(grid, preset, ratio, fault, "full-sync")
+                for policy in ("backup-1", "window-1.25"):
+                    assert _overhead(grid, preset, ratio, fault, policy) <= full
+            # Cutting the severity-4 straggler strictly helps.
+            fault = "compute-x4"
+            assert _overhead(grid, preset, ratio, fault, "backup-1") < _overhead(
+                grid, preset, ratio, fault, "full-sync"
+            )
+
+
+@pytest.mark.skipif(SMOKE, reason="artifact records full-scale numbers only")
+def test_emit_straggler_bench_artifact(grid, emit_artifact):
+    interaction = {}
+    for preset in PRESETS:
+        compute_factor = _overhead(grid, preset, 0.01, "compute-x4", "full-sync") / _overhead(
+            grid, preset, 0.1, "compute-x4", "full-sync"
+        )
+        link_factor = _overhead(grid, preset, 0.01, "link-x4", "full-sync") / _overhead(
+            grid, preset, 0.1, "link-x4", "full-sync"
+        )
+        mitigation_gain = _overhead(grid, preset, 0.01, "compute-x4", "full-sync") / _overhead(
+            grid, preset, 0.01, "compute-x4", "backup-1"
+        )
+        interaction[preset] = {
+            "compute_straggler_interaction": compute_factor,
+            "link_degradation_interaction": link_factor,
+            "backup_mitigation_gain": mitigation_gain,
+        }
+        # The artifact must demonstrate a measurable interaction on every
+        # preset: compression amplifies compute stragglers (> 1) and dampens
+        # link degradation (< 1).
+        assert compute_factor > 1.01, (preset, compute_factor)
+        assert link_factor < 1.0, (preset, link_factor)
+        assert mitigation_gain > 1.0, (preset, mitigation_gain)
+    emit_artifact(
+        ARTIFACT_PATH,
+        "straggler_tolerance",
+        params={
+            "workload": {
+                "name": WORKLOAD.name,
+                "dimension": WORKLOAD.dimension,
+                "comm_overhead": WORKLOAD.comm_overhead,
+                "proxy_elements": WORKLOAD.proxy_elements,
+            },
+            "presets": list(PRESETS),
+            "ratios": list(RATIOS),
+            "severities": list(SEVERITIES),
+            "link_factors": list(LINK_FACTORS),
+            "policies": {label: dict(knobs) for label, knobs in POLICIES.items()},
+        },
+        metrics={
+            f"{preset}:{key}": value
+            for preset, entries in interaction.items()
+            for key, value in entries.items()
+        },
+        records=[
+            {
+                "workload": WORKLOAD.name,
+                "policy": row["policy"],
+                "fault": row["fault"],
+                "config": dict(row["config"]),
+                "metrics": dict(row["metrics"]),
+            }
+            for row in grid
+        ],
+    )

@@ -39,6 +39,13 @@ class IterationRecord:
     #: (concatenated / deduplicated node-aggregate size; 1.0 when dedup is
     #: off or the iteration all-reduced dense gradients).
     dedup_ratio: float = 1.0
+    #: Workers whose gradients the sync policy aggregated this iteration
+    #: (active minus cut); ``None`` on fault-free runs, where every worker
+    #: participates by construction.
+    participating_workers: int | None = None
+    #: Active workers the sync policy cut from this iteration's barrier
+    #: (backup-workers / time-window); 0 on fault-free runs.
+    stragglers_cut: int = 0
 
 
 @dataclass
@@ -175,4 +182,23 @@ class TrainingMetrics:
             "overlapped_seconds": overlapped,
             "serialized_seconds": serialized,
             "overlap_saving": saving,
+        }
+
+    def straggler_summary(self) -> dict[str, float]:
+        """Participation and cut statistics over the faulted iterations.
+
+        ``mean_participants`` averages over iterations that carried a fault
+        layer (records with ``participating_workers`` set); ``cut_iterations``
+        counts iterations where the sync policy dropped at least one worker,
+        and ``total_cut`` sums the drops.  A fault-free run reports zeros with
+        ``faulted_iterations == 0``.
+        """
+        faulted = [r for r in self.records if r.participating_workers is not None]
+        return {
+            "faulted_iterations": float(len(faulted)),
+            "mean_participants": (
+                float(np.mean([r.participating_workers for r in faulted])) if faulted else 0.0
+            ),
+            "total_cut": float(sum(r.stragglers_cut for r in self.records)),
+            "cut_iterations": float(sum(1 for r in self.records if r.stragglers_cut > 0)),
         }

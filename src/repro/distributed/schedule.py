@@ -97,6 +97,45 @@ def validate_cross_bucket(cross_bucket_pipeline: bool) -> bool:
     return cross_bucket_pipeline
 
 
+def validate_rate(name: str, value: float) -> float:
+    """Return ``value`` as a float if it is a usable lane-rate multiplier.
+
+    Lane rates are *time* multipliers (2.0 = twice as slow), so they must be
+    positive and finite; 1.0 is the nominal rate.
+    """
+    value = float(value)
+    if not math.isfinite(value) or value <= 0.0:
+        raise ValueError(f"{name} must be a positive finite multiplier, got {value!r}")
+    return value
+
+
+def _scaled_task(task: BucketTask, compute_scale: float, comm_scale: float) -> BucketTask:
+    """``task`` with compute-lane times x ``compute_scale`` and network times x ``comm_scale``.
+
+    Ready and compression times live on the compute lane (backprop produces
+    the gradient, the compression stream shares the device), communication
+    phases live on the network lane.  Multiplying by exactly 1.0 is bit-exact
+    in IEEE, but callers still skip this entirely at (1.0, 1.0) so the nominal
+    path is provably byte-identical to the unscaled scheduler.
+    """
+    if task.has_placed_phases:
+        phases: tuple[tuple, ...] = tuple(
+            (name, seconds * comm_scale, start * comm_scale, link)
+            for name, seconds, start, link in task.comm_phases
+        )
+    else:
+        phases = tuple(
+            (name, seconds * comm_scale) for name, seconds in task.comm_phases
+        )
+    return BucketTask(
+        index=task.index,
+        ready_seconds=task.ready_seconds * compute_scale,
+        compress_seconds=task.compress_seconds * compute_scale,
+        comm_seconds=task.comm_seconds * comm_scale,
+        comm_phases=phases,
+    )
+
+
 @dataclass(frozen=True)
 class BucketTask:
     """Work one gradient bucket contributes to the iteration (durations in seconds).
@@ -489,6 +528,8 @@ def simulate_iteration(
     overlap: str = "none",
     update_seconds: float = 0.0,
     cross_bucket_pipeline: bool = False,
+    compute_scale: float = 1.0,
+    comm_scale: float = 1.0,
 ) -> IterationSchedule:
     """Schedule per-bucket compress/all-gather jobs and return the event trace.
 
@@ -504,11 +545,25 @@ def simulate_iteration(
     ``True`` schedules each bucket's per-link phase template on independent
     per-link lanes, so consecutive buckets overlap wherever they occupy
     different fabrics.
+
+    ``compute_scale``/``comm_scale`` are per-worker lane rates for the fault
+    layer (:mod:`repro.distributed.faults`): a straggler's schedule is this
+    worker's own iteration with its compute lane (backward pass, compression
+    stream, update) slowed by ``compute_scale`` and its network lane slowed by
+    ``comm_scale``.  At the nominal ``(1.0, 1.0)`` the scaling branch is not
+    taken at all, so homogeneous profiles reproduce today's schedules
+    bit-for-bit.
     """
     validate_overlap(overlap)
     validate_cross_bucket(cross_bucket_pipeline)
     if compute_seconds < 0.0 or update_seconds < 0.0:
         raise ValueError("compute_seconds and update_seconds must be non-negative")
+    compute_scale = validate_rate("compute_scale", compute_scale)
+    comm_scale = validate_rate("comm_scale", comm_scale)
+    if compute_scale != 1.0 or comm_scale != 1.0:
+        tasks = [_scaled_task(task, compute_scale, comm_scale) for task in tasks]
+        compute_seconds = compute_seconds * compute_scale
+        update_seconds = update_seconds * compute_scale
 
     order = sorted(tasks, key=lambda t: (t.ready_seconds, t.index))
 
@@ -607,6 +662,8 @@ def simulate_iteration_arrays(
     overlap: str = "none",
     update_seconds: float = 0.0,
     cross_bucket_pipeline: bool = False,
+    compute_scale: float = 1.0,
+    comm_scale: float = 1.0,
 ) -> ScheduleArrays:
     """Batched-NumPy :func:`simulate_iteration`, bit-identical to the loop.
 
@@ -627,11 +684,21 @@ def simulate_iteration_arrays(
     expressions exactly.  The speedup comes from skipping the loop backend's
     per-bucket object churn (``CollectivePhase``/``BucketTask`` validation/
     ``PhaseEvent``), not from changing the arithmetic.
+
+    ``compute_scale``/``comm_scale`` slow this worker's compute and network
+    lanes like :func:`simulate_iteration` does.  Bit-for-bit loop equality is
+    only pinned at the nominal ``(1.0, 1.0)`` rates: at scaled rates the loop
+    backend scales each bucket's precomputed communication total while this
+    backend scales the per-phase matrix before the cumulative sum, which can
+    differ in the last ulp (IEEE multiplication does not distribute over
+    addition).
     """
     validate_overlap(overlap)
     validate_cross_bucket(cross_bucket_pipeline)
     if compute_seconds < 0.0 or update_seconds < 0.0:
         raise ValueError("compute_seconds and update_seconds must be non-negative")
+    compute_scale = validate_rate("compute_scale", compute_scale)
+    comm_scale = validate_rate("comm_scale", comm_scale)
     ready = np.asarray(ready_seconds, dtype=float)
     compress = np.asarray(compress_seconds, dtype=float)
     num_buckets = ready.shape[0]
@@ -647,6 +714,12 @@ def simulate_iteration_arrays(
         raise ValueError("compress_seconds must match ready_seconds in shape")
     if ready.size and (ready.min() < 0.0 or compress.min() < 0.0 or phase_seconds.min() < 0.0):
         raise ValueError("per-bucket times must be non-negative")
+    if compute_scale != 1.0 or comm_scale != 1.0:
+        ready = ready * compute_scale
+        compress = compress * compute_scale
+        phase_seconds = phase_seconds * comm_scale
+        compute_seconds = compute_seconds * compute_scale
+        update_seconds = update_seconds * compute_scale
 
     # Serial phase offsets inside each bucket's occupancy: the cursor walk is
     # a cumulative sum, so offset[:, p] is the end of column p-1.

@@ -40,6 +40,7 @@ from .schedule import (
     simulate_iteration_arrays,
     validate_cross_bucket,
     validate_overlap,
+    validate_rate,
     validate_scheduler_backend,
 )
 from .topology import CollectiveCost, CollectiveModel, PhaseTable
@@ -261,19 +262,28 @@ class TimelineModel:
                 f"but the timeline models {self.num_workers}"
             )
 
-    def baseline_iteration(self) -> IterationTiming:
+    def baseline_iteration(
+        self, *, compute_scale: float = 1.0, comm_scale: float = 1.0
+    ) -> IterationTiming:
         """Iteration timing with no compression (dense all-reduce).
 
         The dense baseline ships one fused buffer, so there is no per-bucket
         structure to overlap and every policy prices it identically.
+
+        ``compute_scale``/``comm_scale`` price the iteration at one worker's
+        fault-layer lane rates (:mod:`repro.distributed.faults`).  1.0 is
+        nominal, and multiplying by exactly 1.0 is an IEEE identity, so the
+        default call is bit-for-bit the unscaled price.
         """
+        compute_scale = validate_rate("compute_scale", compute_scale)
+        comm_scale = validate_rate("comm_scale", comm_scale)
         dense_bytes = self.model_dimension * self.dimension_scale * FLOAT_BYTES
         comm = self.collective.allreduce_time(dense_bytes)
         return IterationTiming(
-            compute=self.compute_seconds,
+            compute=self.compute_seconds * compute_scale,
             compression=0.0,
-            communication=comm,
-            update=self.update_seconds,
+            communication=comm * comm_scale,
+            update=self.update_seconds * compute_scale,
         )
 
     def compressed_iteration(
@@ -282,6 +292,8 @@ class TimelineModel:
         *,
         overlap: str | None = None,
         cross_bucket_pipeline: bool | None = None,
+        compute_scale: float = 1.0,
+        comm_scale: float = 1.0,
     ) -> IterationTiming:
         """Iteration timing for a set of per-worker compression results.
 
@@ -297,6 +309,14 @@ class TimelineModel:
         ``cross_bucket_pipeline`` overrides the model's default for this call:
         ``True`` schedules the buckets' per-link collective phases on
         independent fabric lanes so consecutive buckets overlap across links.
+
+        ``compute_scale``/``comm_scale`` price the iteration at one worker's
+        fault-layer lane rates: the compute lane (backprop, compression
+        stream, update) is slowed by ``compute_scale`` and the network lane by
+        ``comm_scale``, both in the reported components and inside the event
+        schedule.  The nominal (1.0, 1.0) call is bit-for-bit the unscaled
+        price (the schedulers skip their scaling branch and ``x * 1.0`` is an
+        IEEE identity).
         """
         if not worker_results:
             raise ValueError("need at least one worker result")
@@ -304,9 +324,13 @@ class TimelineModel:
         cross_bucket = (
             self.cross_bucket_pipeline if cross_bucket_pipeline is None else cross_bucket_pipeline
         )
+        compute_scale = validate_rate("compute_scale", compute_scale)
+        comm_scale = validate_rate("comm_scale", comm_scale)
         compression = max(self.device.trace_cost(self._scaled_ops(r)) for r in worker_results)
         if self.scheduler_backend == "vectorized":
-            timing = self._vectorized_iteration(worker_results, compression, policy, cross_bucket)
+            timing = self._vectorized_iteration(
+                worker_results, compression, policy, cross_bucket, compute_scale, comm_scale
+            )
             if timing is not None:
                 return timing
         bucket_costs = self.bucket_communication_costs(worker_results)
@@ -324,13 +348,19 @@ class TimelineModel:
         schedule = None
         if policy != "none" and bucket_costs is not None:
             schedule = self._bucket_schedule(
-                worker_results[0].metadata, bucket_costs, compression, policy, cross_bucket
+                worker_results[0].metadata,
+                bucket_costs,
+                compression,
+                policy,
+                cross_bucket,
+                compute_scale=compute_scale,
+                comm_scale=comm_scale,
             )
         return IterationTiming(
-            compute=self.compute_seconds,
-            compression=compression,
-            communication=comm,
-            update=self.update_seconds,
+            compute=self.compute_seconds * compute_scale,
+            compression=compression * compute_scale,
+            communication=comm * comm_scale,
+            update=self.update_seconds * compute_scale,
             overlap=policy,
             schedule=schedule,
             dedup_ratio=dedup_ratio,
@@ -343,6 +373,8 @@ class TimelineModel:
         compression: float,
         policy: str,
         cross_bucket: bool,
+        compute_scale: float = 1.0,
+        comm_scale: float = 1.0,
     ) -> IterationTiming | None:
         """Batched-array pricing and scheduling; ``None`` defers to the loop path.
 
@@ -388,12 +420,14 @@ class TimelineModel:
                 overlap=policy,
                 update_seconds=self.update_seconds,
                 cross_bucket_pipeline=cross_bucket,
+                compute_scale=compute_scale,
+                comm_scale=comm_scale,
             )
         return IterationTiming(
-            compute=self.compute_seconds,
-            compression=compression,
-            communication=communication,
-            update=self.update_seconds,
+            compute=self.compute_seconds * compute_scale,
+            compression=compression * compute_scale,
+            communication=communication * comm_scale,
+            update=self.update_seconds * compute_scale,
             overlap=policy,
             schedule=schedule,
             dedup_ratio=dedup_ratio,
@@ -451,6 +485,9 @@ class TimelineModel:
         compression_seconds: float,
         policy: str,
         cross_bucket_pipeline: bool = False,
+        *,
+        compute_scale: float = 1.0,
+        comm_scale: float = 1.0,
     ) -> IterationSchedule:
         """Place per-bucket compress/all-gather jobs on the event timeline."""
         num_buckets = len(bucket_costs)
@@ -473,6 +510,8 @@ class TimelineModel:
             overlap=policy,
             update_seconds=self.update_seconds,
             cross_bucket_pipeline=cross_bucket_pipeline,
+            compute_scale=compute_scale,
+            comm_scale=comm_scale,
         )
 
     def bucket_communication_times(

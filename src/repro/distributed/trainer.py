@@ -36,19 +36,21 @@ from ..pipeline import CompressionPipeline
 from ..tensor.flatten import FlatSpec, unflatten
 from .backend import create_worker_backend, validate_worker_backend
 from .collectives import allgather_sparse, allreduce_dense
+from .faults import ClusterProfile, FaultModel, get_sync_policy, price_iteration
+from .knobs import KNOB_FIELDS, SimulationKnobs, knob_defaults
 from .metrics import IterationRecord, TrainingMetrics
 from .network import CLUSTER_ETHERNET_10G, NetworkModel
-from .schedule import validate_cross_bucket, validate_overlap, validate_scheduler_backend
 from .timeline import TimelineModel
 from .topology import (
     ClusterTopology,
     CollectiveModel,
     SparseAggregateModel,
-    get_collective_algorithm,
     get_topology,
-    validate_pipeline_chunks,
 )
 from .worker import Worker
+
+#: The shared knob-default table (single source of truth: ``SimulationKnobs``).
+_KNOB_DEFAULTS = knob_defaults()
 
 
 @dataclass
@@ -72,14 +74,14 @@ class TrainerConfig:
     #: When set, each worker's compressor runs inside a bucketed
     #: :class:`~repro.pipeline.CompressionPipeline` with this many bytes per
     #: bucket, and the timeline prices communication per bucket.
-    bucket_bytes: int | None = None
+    bucket_bytes: int | None = _KNOB_DEFAULTS["bucket_bytes"]
     #: Overlap policy for the event-driven iteration schedule: ``"none"``
     #: serialises compute, compression and communication (the closed-form
     #: sum); ``"comm"`` overlaps each bucket's all-gather with later buckets'
     #: compression; ``"comm+compress"`` additionally starts compressing each
     #: bucket at its gradient-ready point during backprop.  Only bucketed runs
     #: (``bucket_bytes`` set) have per-bucket structure to overlap.
-    overlap: str = "none"
+    overlap: str = _KNOB_DEFAULTS["overlap"]
     #: Snap bucket boundaries to the model's layer boundaries (DDP-style) and
     #: derive per-bucket gradient-ready times from reverse layer order.
     #: Ignored unless ``bucket_bytes`` is set.
@@ -89,27 +91,27 @@ class TrainerConfig:
     #: :class:`~repro.distributed.topology.ClusterTopology`, or ``None`` for the
     #: degenerate single-level topology over the trainer's network.  The
     #: topology's worker count must match ``num_workers``.
-    topology: "str | ClusterTopology | None" = None
+    topology: "str | ClusterTopology | None" = _KNOB_DEFAULTS["topology"]
     #: Collective algorithm pricing the dense baseline all-reduce.
-    allreduce_algorithm: str = "ring-allreduce"
+    allreduce_algorithm: str = _KNOB_DEFAULTS["allreduce_algorithm"]
     #: Collective algorithm pricing the sparse all-gather (``"flat-allgather"``,
     #: ``"recursive-doubling"`` or ``"hierarchical"``).
-    allgather_algorithm: str = "flat-allgather"
+    allgather_algorithm: str = _KNOB_DEFAULTS["allgather_algorithm"]
     #: Payload chunks the hierarchical collective phases pipeline over —
     #: ``1`` serialises the intra/inter phases (the PR-3 pricing, reproduced
     #: bit-for-bit), larger values overlap them chunk-by-chunk.  A no-op for
     #: single-link collective algorithms.
-    pipeline_chunks: int = 1
+    pipeline_chunks: int = _KNOB_DEFAULTS["pipeline_chunks"]
     #: Index-overlap assumption for per-node sparse-payload dedup (``"uniform"``,
     #: ``"identical"`` or ``"disjoint"``; see
     #: :class:`~repro.distributed.topology.SparseAggregateModel`), or ``None``
     #: to ship raw concatenated node aggregates (the PR-3 behaviour).
-    dedup_assumption: str | None = None
+    dedup_assumption: str | None = _KNOB_DEFAULTS["dedup_assumption"]
     #: Schedule buckets on per-link network lanes so bucket *i+1*'s intra-node
     #: collective phase overlaps bucket *i*'s inter-node phase.  ``False``
     #: keeps the serial whole-occupancy network lane (the PR-4 scheduler).
     #: Only bucketed runs on a multi-link topology have anything to overlap.
-    cross_bucket_pipeline: bool = False
+    cross_bucket_pipeline: bool = _KNOB_DEFAULTS["cross_bucket_pipeline"]
     #: How per-worker compression executes: ``"serial"`` (in-process, the
     #: default) or ``"process"`` (chunked dispatch to a process pool so
     #: multi-worker runs use real cores).  Both are bit-for-bit identical on
@@ -121,9 +123,39 @@ class TrainerConfig:
     #: results; the vectorized backend defers to the loop whenever the
     #: batched contract cannot hold.  See
     #: :class:`~repro.distributed.timeline.TimelineModel`.
-    scheduler_backend: str = "loop"
+    scheduler_backend: str = _KNOB_DEFAULTS["scheduler_backend"]
+    #: Synchronization policy under faults (see
+    #: :mod:`repro.distributed.faults`): ``"full-sync"`` waits for the slowest
+    #: participant (today's barrier), ``"backup-workers"`` cuts the slowest
+    #: ``backup_workers``, ``"time-window"`` keeps workers finishing within
+    #: ``time_window_factor`` x the fastest finish.
+    sync_policy: str = _KNOB_DEFAULTS["sync_policy"]
+    #: Slowest workers the ``backup-workers`` policy cuts per iteration.
+    backup_workers: int = _KNOB_DEFAULTS["backup_workers"]
+    #: ``time-window`` window as a multiple of the fastest worker's finish
+    #: time (``None`` = the policy default when that policy is selected).
+    time_window_factor: float | None = _KNOB_DEFAULTS["time_window_factor"]
+    #: Deterministic compute slowdown (>= 1) of worker 0 — the single-knob
+    #: straggler.  For richer heterogeneity pass ``cluster_profile`` instead.
+    straggler_severity: float = _KNOB_DEFAULTS["straggler_severity"]
+    #: Deterministic link-time multiplier (>= 1) of worker 0.
+    link_degradation: float = _KNOB_DEFAULTS["link_degradation"]
+    #: Explicit per-worker heterogeneity (mutually exclusive with the two
+    #: single-straggler knobs above); ``None`` = homogeneous.
+    cluster_profile: "ClusterProfile | None" = None
+    #: Fault injectors applied per iteration, in order (``StragglerInjector``,
+    #: ``LinkDegradation``, ``WorkerChurn``, or anything with
+    #: ``apply(iteration, rates)``).
+    fault_injectors: tuple = ()
+    #: The consolidated knob bundle.  When passed, its fields overwrite the
+    #: corresponding flat fields above; after construction it always holds the
+    #: validated, normalised bundle (single source of truth for every knob).
+    knobs: "SimulationKnobs | None" = None
 
     def __post_init__(self) -> None:
+        if self.knobs is not None:
+            for name in KNOB_FIELDS:
+                setattr(self, name, getattr(self.knobs, name))
         if self.num_workers < 1:
             raise ValueError("num_workers must be >= 1")
         if self.iterations < 1:
@@ -134,17 +166,19 @@ class TrainerConfig:
             raise ValueError("warmup_iterations must be non-negative")
         if self.compute_seconds < 0.0:
             raise ValueError("compute_seconds must be non-negative")
-        if self.bucket_bytes is not None and self.bucket_bytes < 1:
-            raise ValueError("bucket_bytes must be positive when set")
-        validate_overlap(self.overlap)
-        validate_cross_bucket(self.cross_bucket_pipeline)
         validate_worker_backend(self.worker_backend)
-        validate_scheduler_backend(self.scheduler_backend)
-        get_collective_algorithm(self.allreduce_algorithm, op="allreduce")
-        get_collective_algorithm(self.allgather_algorithm, op="allgather")
-        validate_pipeline_chunks(self.pipeline_chunks)
-        if self.dedup_assumption is not None:
-            SparseAggregateModel(self.dedup_assumption)  # fail fast on unknown assumptions
+        self.fault_injectors = tuple(self.fault_injectors)
+        if self.cluster_profile is not None:
+            if self.cluster_profile.num_workers != self.num_workers:
+                raise ValueError(
+                    f"cluster_profile has {self.cluster_profile.num_workers} workers "
+                    f"but num_workers is {self.num_workers}"
+                )
+            if self.straggler_severity != 1.0 or self.link_degradation != 1.0:
+                raise ValueError(
+                    "pass either cluster_profile or the single-straggler knobs "
+                    "(straggler_severity / link_degradation), not both"
+                )
         if self.topology is not None:
             # Fail fast like the algorithm fields: resolve preset names and
             # check the worker count here, not at trainer construction.
@@ -157,6 +191,42 @@ class TrainerConfig:
                     f"workers but num_workers is {self.num_workers}"
                 )
             self.topology = resolved
+        # Every knob is validated once, by the consolidated bundle (including
+        # cross-knob implications like backup_workers requiring its policy);
+        # the snapshot is also what downstream surfaces should read.
+        self.knobs = self.simulation_knobs()
+        if self.backup_workers >= self.num_workers:
+            raise ValueError(
+                f"backup_workers ({self.backup_workers}) must leave at least one "
+                f"participant out of num_workers ({self.num_workers})"
+            )
+
+    def simulation_knobs(self) -> SimulationKnobs:
+        """The current knob fields as a validated :class:`SimulationKnobs` bundle."""
+        return SimulationKnobs(**{name: getattr(self, name) for name in KNOB_FIELDS})
+
+    @property
+    def faulted(self) -> bool:
+        """True when any heterogeneity/fault/policy configuration is active."""
+        return (
+            self.cluster_profile is not None
+            or bool(self.fault_injectors)
+            or self.knobs.faulted
+        )
+
+    def build_fault_model(self) -> FaultModel:
+        """The fault model this config describes (homogeneous profile when clean)."""
+        if self.cluster_profile is not None:
+            profile = self.cluster_profile
+        elif self.straggler_severity != 1.0 or self.link_degradation != 1.0:
+            profile = ClusterProfile.degraded(
+                self.num_workers,
+                compute=self.straggler_severity,
+                link=self.link_degradation,
+            )
+        else:
+            profile = ClusterProfile.homogeneous(self.num_workers)
+        return FaultModel(profile=profile, injectors=self.fault_injectors)
 
     def resolve_topology(self, network: NetworkModel) -> ClusterTopology:
         """The cluster topology this config trains over.
@@ -262,6 +332,14 @@ class DistributedTrainer:
         )
         self._warmup_compressor = NoCompression()
         self.backend = create_worker_backend(config.worker_backend)
+        # Fault layer: None on the clean path so the nominal iteration code is
+        # exactly the pre-fault code (bit-for-bit schedules and timings).
+        self.fault_model = config.build_fault_model() if config.faulted else None
+        self.sync_policy = get_sync_policy(
+            config.sync_policy,
+            backup_workers=config.backup_workers,
+            time_window_factor=config.time_window_factor,
+        )
 
     @staticmethod
     def _make_compressor(
@@ -318,9 +396,25 @@ class DistributedTrainer:
         in_warmup = iteration < cfg.warmup_iterations
         lr = self.scheduler.step() if self.scheduler is not None else self.optimizer.lr
 
+        # Fault layer: resolve this iteration's membership.  Inactive workers
+        # (churn) skip the step entirely — their batch stream does not advance
+        # and they contribute no gradient.  On the clean path `workers` is the
+        # untouched full list and the code below is exactly the pre-fault path.
+        if self.fault_model is None:
+            rates = None
+            workers = self.workers
+        else:
+            rates = self.fault_model.rates_for_iteration(iteration)
+            flags = rates.active.tolist()
+            for worker, flag in zip(self.workers, flags):
+                worker.active = bool(flag)
+            workers = [w for w, flag in zip(self.workers, flags) if flag]
+            if not workers:
+                raise RuntimeError("fault injection left no active workers this iteration")
+
         if in_warmup and not self.is_baseline:
             worker_steps = []
-            for worker in self.workers:
+            for worker in workers:
                 # Warm-up: train uncompressed (the paper's 5-epoch warm-up).
                 loss, flat = worker.compute_gradient()
                 result = self._warmup_compressor.compress(flat, 1.0)
@@ -329,14 +423,14 @@ class DistributedTrainer:
             # Model-touching halves stay in-process; the compress calls in the
             # middle go through the configured backend (serial, or chunked
             # process-pool dispatch) in deterministic worker order.
-            prepared = [worker.prepare() for worker in self.workers]
+            prepared = [worker.prepare() for worker in workers]
             compressed = self.backend.compress_all(
-                [worker.compressor for worker in self.workers],
+                [worker.compressor for worker in workers],
                 [p.corrected for p in prepared],
                 cfg.ratio,
             )
             worker_steps = []
-            for worker, prep, (result, compressor) in zip(self.workers, prepared, compressed):
+            for worker, prep, (result, compressor) in zip(workers, prepared, compressed):
                 # The returned compressor carries the state evolved by the
                 # call (identity for the serial backend, a pickle round-trip
                 # for the process pool); store it back so the next iteration
@@ -351,18 +445,52 @@ class DistributedTrainer:
         if self.capture is not None:
             self.capture.record(iteration, worker_steps[0][2])
 
+        # Nominal-rate timing: the components every record reports.  Under
+        # faults it also seeds the per-worker pricing memo so the nominal
+        # workers' finish time is bit-for-bit this number.
         if self.is_baseline or in_warmup:
-            collective = allreduce_dense([s[2] for s in worker_steps])
             timing = self.timeline.baseline_iteration()
+
+            def price(compute_scale: float, comm_scale: float) -> float:
+                if compute_scale == 1.0 and comm_scale == 1.0:
+                    return timing.total
+                return self.timeline.baseline_iteration(
+                    compute_scale=compute_scale, comm_scale=comm_scale
+                ).total
         else:
-            collective = allgather_sparse([r.sparse for r in results])
             timing = self.timeline.compressed_iteration(results)
+
+            def price(compute_scale: float, comm_scale: float) -> float:
+                if compute_scale == 1.0 and comm_scale == 1.0:
+                    return timing.total
+                return self.timeline.compressed_iteration(
+                    results, compute_scale=compute_scale, comm_scale=comm_scale
+                ).total
+
+        # Sync policy: which of the active workers' gradients aggregate, and
+        # what the cluster-level iteration time is.
+        if rates is None:
+            faulted = None
+            participating_steps = worker_steps
+            iteration_seconds = timing.total
+        else:
+            faulted = price_iteration(price, rates, self.sync_policy)
+            keep = faulted.outcome.participating
+            participating_steps = [
+                step for w, step in zip(rates.active_indices, worker_steps) if keep[w]
+            ]
+            iteration_seconds = faulted.iteration_seconds
+
+        if self.is_baseline or in_warmup:
+            collective = allreduce_dense([s[2] for s in participating_steps])
+        else:
+            collective = allgather_sparse([s[1].sparse for s in participating_steps])
 
         aggregated = collective.aggregated
         named_grads = unflatten(aggregated, self.workers[0].flat_spec)
         self.optimizer.step(named_grads)
 
-        wall_time += timing.total
+        wall_time += iteration_seconds
         achieved_ratio = float(np.mean([r.achieved_ratio for r in results]))
         thresholds = [r.threshold for r in results if r.threshold is not None]
         metrics.append(
@@ -375,12 +503,16 @@ class DistributedTrainer:
                 compute_time=timing.compute,
                 compression_time=timing.compression,
                 communication_time=timing.communication,
-                iteration_time=timing.total,
+                iteration_time=iteration_seconds,
                 serialized_time=timing.serialized,
                 wall_time=wall_time,
-                samples=cfg.batch_size * cfg.num_workers,
+                samples=cfg.batch_size * len(participating_steps),
                 learning_rate=lr,
                 dedup_ratio=timing.dedup_ratio,
+                participating_workers=(
+                    None if faulted is None else faulted.outcome.num_participating
+                ),
+                stragglers_cut=0 if faulted is None else faulted.outcome.stragglers_cut,
             )
         )
         return wall_time

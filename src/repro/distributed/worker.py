@@ -65,6 +65,11 @@ class Worker:
         self.batches = batches
         self.compressor = compressor
         self.clip_norm = clip_norm
+        #: Cluster membership this iteration, maintained by the trainer's
+        #: fault layer (worker churn).  An inactive worker skips the step
+        #: entirely: its batch stream does not advance and it contributes no
+        #: gradient.  Always True on fault-free runs.
+        self.active = True
         self.flat_spec: FlatSpec = FlatSpec.from_named_shapes(
             {name: p.shape for name, p in model.named_parameters().items()}
         )

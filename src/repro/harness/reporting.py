@@ -89,6 +89,33 @@ def format_overlap_summary(rows) -> str:
     return "\n".join(["overlapped vs serialized iteration time:", *lines])
 
 
+def format_straggler_summary(rows) -> str:
+    """Summarise straggler overhead and mitigation per evaluated point.
+
+    Accepts :class:`~repro.harness.sweep.SweepRecord`-like rows (anything with
+    ``config``/``metrics`` mappings — they are merged) or flat mappings
+    carrying ``sync_policy``, ``straggler_severity``, ``link_degradation``,
+    ``straggler_overhead``, ``participating_workers`` and ``stragglers_cut``,
+    and renders the fault layer's headline comparison: how much slower the
+    faulted iteration ran than the clean schedule, and what the sync policy
+    cut to get there.
+    """
+    lines = []
+    for row in rows:
+        config = getattr(row, "config", None)
+        metrics = getattr(row, "metrics", None)
+        merged = {**config, **metrics} if config is not None and metrics is not None else _coerce_row(row)
+        lines.append(
+            f"  policy={merged.get('sync_policy', 'full-sync'):<15}"
+            f" severity={_format_value(merged.get('straggler_severity', 1.0))}x"
+            f" link={_format_value(merged.get('link_degradation', 1.0))}x"
+            f"  overhead={_format_value(merged.get('straggler_overhead', 1.0))}x"
+            f"  participants={merged.get('participating_workers', '?')}"
+            f"  cut={merged.get('stragglers_cut', 0)}"
+        )
+    return "\n".join(["straggler overhead vs clean schedule:", *lines])
+
+
 def format_phase_breakdown(cost) -> str:
     """Render a collective's per-phase cost breakdown as an aligned table.
 

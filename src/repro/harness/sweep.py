@@ -38,6 +38,7 @@ millions of times against a warm cache.
 from __future__ import annotations
 
 import itertools
+import math
 from dataclasses import dataclass, field
 from typing import Callable, Mapping
 
@@ -48,6 +49,13 @@ from ..gradients.synthetic import realistic_gradient
 from ..perfmodel.device import GPU_V100
 from ..pipeline import CompressionPipeline
 from ..distributed.backend import SpawnPool
+from ..distributed.faults import (
+    ClusterProfile,
+    get_sync_policy,
+    price_iteration,
+    validate_sync_policy,
+)
+from ..distributed.knobs import KNOB_FIELDS, knob_defaults
 from ..distributed.schedule import (
     validate_cross_bucket,
     validate_overlap,
@@ -64,36 +72,27 @@ from ..distributed.topology import (
 from .artifacts import bench_artifact, validate_bench_artifact
 from .configs import get_benchmark
 
-#: Every knob a sweep point carries, in canonical order.
-SWEEP_KNOBS: tuple[str, ...] = (
-    "compressor",
-    "ratio",
-    "bucket_bytes",
-    "overlap",
-    "topology",
-    "allreduce_algorithm",
-    "allgather_algorithm",
-    "pipeline_chunks",
-    "dedup_assumption",
-    "cross_bucket_pipeline",
-    "scheduler_backend",
-)
+#: Every knob a sweep point carries, in canonical order: the two compression
+#: knobs, then the consolidated simulation knobs in
+#: :data:`~repro.distributed.knobs.KNOB_FIELDS` (dataclass field) order.
+#: Deriving the tail from the dataclass means a knob added to
+#: :class:`~repro.distributed.knobs.SimulationKnobs` can never silently miss
+#: the sweep grid.
+SWEEP_KNOBS: tuple[str, ...] = ("compressor", "ratio", *KNOB_FIELDS)
 
-#: Default value per knob for axes a spec does not sweep — the repo-wide
-#: defaults of :class:`~repro.distributed.TrainerConfig`, plus the 4 MiB DDP
-#: bucket budget and the paper's densest ratio.
+#: Default value per knob for axes a spec does not sweep — the shared
+#: :func:`~repro.distributed.knobs.knob_defaults` table, with three
+#: sweep-specific overrides: the paper's densest ratio, the 4 MiB DDP bucket
+#: budget, the strongest overlap policy and the two-level reference fabric
+#: (a sweep prices bucketed schedules, so the trainer's unbucketed/serial
+#: defaults would leave most axes nothing to bite on).
 DEFAULT_KNOBS: dict = {
     "compressor": "topk",
     "ratio": 0.1,
+    **knob_defaults(),
     "bucket_bytes": 4 * 2**20,
     "overlap": "comm+compress",
     "topology": "ethernet-4x8",
-    "allreduce_algorithm": "ring-allreduce",
-    "allgather_algorithm": "flat-allgather",
-    "pipeline_chunks": 1,
-    "dedup_assumption": None,
-    "cross_bucket_pipeline": False,
-    "scheduler_backend": "loop",
 }
 
 #: Execution backends :func:`run_sweep` accepts.
@@ -182,10 +181,35 @@ class KnobConstraint:
         return config[self.target] in self.allowed
 
 
+@dataclass(frozen=True)
+class WorkerCountConstraint:
+    """``backup_workers`` must leave at least one participant on the fabric.
+
+    Cutting the ``k`` slowest workers only makes sense when the resolved
+    topology has more than ``k`` workers — a single-worker "cluster" with
+    ``backup_workers=1`` would drop its only gradient.  Ships the ISSUE's
+    "``backup_workers`` requires ``num_workers > 1``" implication in the same
+    ``admits(config)`` shape as :class:`KnobConstraint`, for constraints that
+    need a resolved-topology fact rather than a knob-to-knob implication.
+    """
+
+    name: str = "backup-workers-fit-cluster"
+
+    def admits(self, config: Mapping) -> bool:
+        backups = config["backup_workers"]
+        if backups == 0:
+            return True
+        topology = config["topology"]
+        resolved = get_topology(topology) if isinstance(topology, str) else topology
+        num_workers = getattr(resolved, "num_workers", None)
+        return num_workers is None or num_workers > backups
+
+
 #: Structural implications every default sweep honours: only the hierarchical
-#: all-gather has a per-node reduce point to deduplicate at, and only its
-#: multi-link phases can chunk-pipeline.
-DEFAULT_CONSTRAINTS: tuple[KnobConstraint, ...] = (
+#: all-gather has a per-node reduce point to deduplicate at, only its
+#: multi-link phases can chunk-pipeline, and the fault-mitigation knobs only
+#: act under their own sync policy (on a fabric big enough to cut from).
+DEFAULT_CONSTRAINTS: tuple = (
     KnobConstraint(
         name="dedup-requires-hierarchical-allgather",
         knob="dedup_assumption",
@@ -200,6 +224,21 @@ DEFAULT_CONSTRAINTS: tuple[KnobConstraint, ...] = (
         target="allgather_algorithm",
         allowed=("hierarchical",),
     ),
+    KnobConstraint(
+        name="backup-workers-requires-backup-policy",
+        knob="backup_workers",
+        inactive=(0,),
+        target="sync_policy",
+        allowed=("backup-workers",),
+    ),
+    KnobConstraint(
+        name="time-window-requires-time-window-policy",
+        knob="time_window_factor",
+        inactive=(None,),
+        target="sync_policy",
+        allowed=("time-window",),
+    ),
+    WorkerCountConstraint(),
 )
 
 
@@ -245,6 +284,7 @@ _KNOB_VALIDATORS: dict[str, Callable] = {
     "topology": get_topology,
     "allreduce_algorithm": lambda name: get_collective_algorithm(name, op="allreduce"),
     "allgather_algorithm": lambda name: get_collective_algorithm(name, op="allgather"),
+    "sync_policy": validate_sync_policy,
 }
 
 
@@ -268,6 +308,17 @@ def _validate_knob_value(knob: str, value) -> None:
     elif knob == "dedup_assumption":
         if value is not None:
             SparseAggregateModel(value)
+    elif knob == "backup_workers":
+        if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+            raise ValueError(f"backup_workers must be a non-negative int, got {value!r}")
+    elif knob == "time_window_factor":
+        if value is not None and (not math.isfinite(float(value)) or float(value) < 1.0):
+            raise ValueError(
+                f"time_window_factor must be a finite factor >= 1 or None, got {value!r}"
+            )
+    elif knob in ("straggler_severity", "link_degradation"):
+        if not math.isfinite(float(value)) or float(value) < 1.0:
+            raise ValueError(f"{knob} must be a finite slowdown >= 1, got {value!r}")
 
 
 @dataclass(frozen=True)
@@ -542,6 +593,17 @@ def _dense_baseline_seconds(
     return cache.fetch(cache.baselines, key, build)
 
 
+def _faults_active(config: Mapping) -> bool:
+    """True when any fault knob left its default — the fault layer prices only then."""
+    return (
+        config["sync_policy"] != "full-sync"
+        or config["backup_workers"] != 0
+        or config["time_window_factor"] is not None
+        or config["straggler_severity"] != 1.0
+        or config["link_degradation"] != 1.0
+    )
+
+
 def evaluate_point(
     workload: WorkloadSpec, point: SweepPoint, *, cache: SweepCache | None = None
 ) -> dict:
@@ -552,6 +614,18 @@ def evaluate_point(
     event-driven — which is what makes both the memoized and the
     process-pool execution paths bit-for-bit equal to a serial
     memoization-off run.
+
+    When any fault knob is off its default, the point is additionally priced
+    through the :mod:`~repro.distributed.faults` layer: worker 0 becomes the
+    straggler (``straggler_severity`` x compute, ``link_degradation`` x link
+    time), the remaining workers run at nominal rates, and the configured
+    sync policy prices the barrier.  ``iteration_seconds``,
+    ``dense_baseline_seconds`` and ``speedup_vs_dense`` then reflect the
+    policy-priced times (the dense baseline suffers the same cluster, so the
+    speedup compares like with like), while the component metrics and
+    ``clean_iteration_seconds`` keep the nominal schedule.  With every fault
+    knob at its default this block is skipped entirely and the metrics are
+    bit-for-bit the fault-free ones, with ``straggler_overhead == 1.0``.
     """
     if point.workload != workload.name:
         raise ValueError(
@@ -580,7 +654,50 @@ def evaluate_point(
         "achieved_ratio": result.achieved_ratio,
         "num_buckets": int(result.metadata.get("num_buckets", 1)),
         "num_workers": timeline.num_workers,
+        "clean_iteration_seconds": timing.total,
+        "straggler_overhead": 1.0,
+        "participating_workers": timeline.num_workers,
+        "stragglers_cut": 0,
     }
+    if _faults_active(config):
+        policy = get_sync_policy(
+            config["sync_policy"],
+            backup_workers=config["backup_workers"],
+            time_window_factor=config["time_window_factor"],
+        )
+        rates = ClusterProfile.degraded(
+            timeline.num_workers,
+            compute=config["straggler_severity"],
+            link=config["link_degradation"],
+        ).rates()
+
+        def price_compressed(compute_scale: float, comm_scale: float) -> float:
+            if compute_scale == 1.0 and comm_scale == 1.0:
+                return timing.total
+            return timeline.compressed_iteration(
+                [result], compute_scale=compute_scale, comm_scale=comm_scale
+            ).total
+
+        def price_dense(compute_scale: float, comm_scale: float) -> float:
+            if compute_scale == 1.0 and comm_scale == 1.0:
+                return baseline
+            return timeline.baseline_iteration(
+                compute_scale=compute_scale, comm_scale=comm_scale
+            ).total
+
+        faulted = price_iteration(price_compressed, rates, policy)
+        dense_faulted = price_iteration(price_dense, rates, policy)
+        seconds = faulted.iteration_seconds
+        metrics["iteration_seconds"] = seconds
+        metrics["dense_baseline_seconds"] = dense_faulted.iteration_seconds
+        metrics["speedup_vs_dense"] = (
+            dense_faulted.iteration_seconds / seconds if seconds > 0.0 else float("inf")
+        )
+        metrics["straggler_overhead"] = (
+            seconds / timing.total if timing.total > 0.0 else 1.0
+        )
+        metrics["participating_workers"] = faulted.outcome.num_participating
+        metrics["stragglers_cut"] = faulted.outcome.stragglers_cut
     if cache is not None:
         cache.misses += 1
         cache.points[(workload, point)] = dict(metrics)

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..distributed.knobs import SimulationKnobs, apply_flat_overrides
 from ..distributed.network import CLUSTER_ETHERNET_10G, NetworkModel
 from ..distributed.topology import ClusterTopology, get_topology
 from ..distributed.trainer import DistributedTrainer, TrainerConfig, TrainingRunResult
@@ -58,6 +59,9 @@ class BenchmarkRunRow:
     #: Scheduler implementation the run's iterations were priced with
     #: (``"loop"`` or ``"vectorized"`` — bit-identical results).
     scheduler_backend: str = "loop"
+    #: Synchronization policy the run's barriers were priced under
+    #: (``"full-sync"``, ``"backup-workers"`` or ``"time-window"``).
+    sync_policy: str = "full-sync"
 
 
 @dataclass
@@ -91,20 +95,46 @@ def _quality_from_evaluation(config: BenchmarkConfig, evaluation: dict[str, floa
     return evaluation["accuracy"]
 
 
-def _resolve_topology(
+#: Legacy flat knob kwargs ``run_benchmark``/``compare_compressors`` still
+#: accept for one release (``None`` = not passed); each passed one is folded
+#: into the knob bundle by :func:`~repro.distributed.knobs.apply_flat_overrides`
+#: with a :class:`DeprecationWarning`.
+_LEGACY_FLAT_KNOBS: tuple[str, ...] = (
+    "bucket_bytes",
+    "overlap",
+    "topology",
+    "allreduce_algorithm",
+    "allgather_algorithm",
+    "pipeline_chunks",
+    "dedup_assumption",
+    "cross_bucket_pipeline",
+    "scheduler_backend",
+)
+
+
+def _resolve_knobs(
     config: BenchmarkConfig,
+    knobs: SimulationKnobs | None,
+    flat_overrides: dict,
+    caller: str,
+) -> SimulationKnobs:
+    """The run's knob bundle: ``knobs`` (or the benchmark's) + legacy flat kwargs."""
+    base = knobs if knobs is not None else config.simulation_knobs()
+    return apply_flat_overrides(base, flat_overrides, caller)
+
+
+def _resolve_topology(
     topology: "str | ClusterTopology | None",
     num_workers: int,
 ) -> tuple["ClusterTopology | None", int]:
-    """Resolve the run's topology (override > benchmark preset) and worker count.
+    """Resolve the knob bundle's topology and the run's worker count.
 
     A topology fixes the worker count (nodes x devices), so when one is set it
     wins over the ``num_workers`` argument.
     """
-    chosen = topology if topology is not None else config.topology
-    if chosen is None:
+    if topology is None:
         return None, num_workers
-    resolved = get_topology(chosen) if isinstance(chosen, str) else chosen
+    resolved = get_topology(topology) if isinstance(topology, str) else topology
     return resolved, resolved.num_workers
 
 
@@ -116,15 +146,7 @@ def _trainer_config(
     iterations: int | None,
     seed: int,
     network: NetworkModel,
-    bucket_bytes: int | None = None,
-    overlap: str | None = None,
-    topology: "ClusterTopology | None" = None,
-    allreduce_algorithm: str | None = None,
-    allgather_algorithm: str | None = None,
-    pipeline_chunks: int | None = None,
-    dedup_assumption: str | None = None,
-    cross_bucket_pipeline: bool | None = None,
-    scheduler_backend: str | None = None,
+    knobs: SimulationKnobs,
 ) -> TrainerConfig:
     return TrainerConfig(
         num_workers=num_workers,
@@ -139,19 +161,7 @@ def _trainer_config(
         seed=seed,
         compute_seconds=config.compute_seconds(network, num_workers),
         dimension_scale=config.dimension_scale(),
-        bucket_bytes=config.proxy_bucket_bytes(bucket_bytes),
-        overlap=config.overlap if overlap is None else overlap,
-        topology=topology,
-        allreduce_algorithm=allreduce_algorithm or config.allreduce_algorithm,
-        allgather_algorithm=allgather_algorithm or config.allgather_algorithm,
-        pipeline_chunks=config.pipeline_chunks if pipeline_chunks is None else pipeline_chunks,
-        dedup_assumption=config.dedup_assumption if dedup_assumption is None else dedup_assumption,
-        cross_bucket_pipeline=config.cross_bucket_pipeline
-        if cross_bucket_pipeline is None
-        else cross_bucket_pipeline,
-        scheduler_backend=config.scheduler_backend
-        if scheduler_backend is None
-        else scheduler_backend,
+        knobs=knobs,
     )
 
 
@@ -166,6 +176,7 @@ def run_benchmark(
     network: NetworkModel = CLUSTER_ETHERNET_10G,
     device: DeviceProfile = GPU_V100,
     capture: GradientCapture | None = None,
+    knobs: SimulationKnobs | None = None,
     bucket_bytes: int | None = None,
     overlap: str | None = None,
     topology: "str | ClusterTopology | None" = None,
@@ -178,38 +189,34 @@ def run_benchmark(
 ) -> TrainingRunResult:
     """Train one Table 1 proxy benchmark with one compressor and evaluate it.
 
-    ``bucket_bytes`` switches the run onto the bucketed compression pipeline.
-    Like ``BenchmarkConfig.bucket_bytes`` (its default), it is stated in
-    full-size-model bytes per gradient bucket and rescaled to the proxy's
-    dimension automatically.  ``overlap`` picks the iteration-schedule policy
-    (``"none"``, ``"comm"``, ``"comm+compress"``; default: the benchmark
-    config's policy).  ``topology`` (a preset name or
-    :class:`~repro.distributed.ClusterTopology`) runs the collectives over a
-    two-level cluster — it fixes the worker count, overriding ``num_workers``
-    — and ``allreduce_algorithm``/``allgather_algorithm`` pick the collective
-    algorithms (default: the benchmark config's choices).
-    ``pipeline_chunks`` overlaps the hierarchical collective's intra/inter
-    phases chunk-by-chunk, and ``dedup_assumption`` (``"uniform"``,
-    ``"identical"``, ``"disjoint"``) deduplicates overlapping sparse indices
-    in the per-node reduce before they cross the inter-node link (defaults:
-    the benchmark config's knobs).  ``cross_bucket_pipeline`` schedules the
-    buckets' per-link collective phases on independent fabric lanes so
-    consecutive buckets overlap across links (default: the benchmark config's
-    knob; ``False`` is the serial PR-4 network lane).  ``scheduler_backend``
-    picks the iteration-schedule implementation (``"loop"`` or
-    ``"vectorized"``; bit-identical results, default: the benchmark config's
-    choice).
+    Simulation knobs ride in the consolidated ``knobs`` bundle
+    (:class:`~repro.distributed.SimulationKnobs`); when ``None``, the
+    benchmark config's own knob settings apply.  ``knobs.bucket_bytes`` is
+    stated in full-size-model bytes per gradient bucket (like
+    ``BenchmarkConfig.bucket_bytes``) and rescaled to the proxy's dimension
+    automatically; ``knobs.topology`` (a preset name or
+    :class:`~repro.distributed.ClusterTopology`) fixes the worker count,
+    overriding ``num_workers``.  The fault/policy knobs (``sync_policy``,
+    ``backup_workers``, ``time_window_factor``, ``straggler_severity``,
+    ``link_degradation``) thread into the trainer's fault layer
+    (:mod:`repro.distributed.faults`).
+
+    The flat knob kwargs (``bucket_bytes`` ... ``scheduler_backend``) are the
+    pre-knobs API, kept for one release: each one passed emits a
+    :class:`DeprecationWarning` and overrides the bundle's value.
     """
     config = benchmark if isinstance(benchmark, BenchmarkConfig) else get_benchmark(benchmark)
-    resolved_topology, num_workers = _resolve_topology(config, topology, num_workers)
+    flat = {name: value for name, value in locals().items() if name in _LEGACY_FLAT_KNOBS}
+    resolved = _resolve_knobs(config, knobs, flat, "run_benchmark")
+    resolved_topology, num_workers = _resolve_topology(resolved.topology, num_workers)
     dataset = config.build_proxy_dataset(seed=seed)
     model = config.build_proxy_model(seed=seed + 1)
     trainer_cfg = _trainer_config(
         config, ratio, num_workers=num_workers, iterations=iterations, seed=seed, network=network,
-        bucket_bytes=bucket_bytes, overlap=overlap, topology=resolved_topology,
-        allreduce_algorithm=allreduce_algorithm, allgather_algorithm=allgather_algorithm,
-        pipeline_chunks=pipeline_chunks, dedup_assumption=dedup_assumption,
-        cross_bucket_pipeline=cross_bucket_pipeline, scheduler_backend=scheduler_backend,
+        knobs=resolved.replace(
+            bucket_bytes=config.proxy_bucket_bytes(resolved.bucket_bytes),
+            topology=resolved_topology,
+        ),
     )
     trainer = DistributedTrainer(
         model,
@@ -233,6 +240,7 @@ def compare_compressors(
     seed: int = 0,
     network: NetworkModel = CLUSTER_ETHERNET_10G,
     device: DeviceProfile = GPU_V100,
+    knobs: SimulationKnobs | None = None,
     bucket_bytes: int | None = None,
     overlap: str | None = None,
     topology: "str | ClusterTopology | None" = None,
@@ -243,15 +251,19 @@ def compare_compressors(
     cross_bucket_pipeline: bool | None = None,
     scheduler_backend: str | None = None,
 ) -> BenchmarkComparison:
-    """Run one benchmark for every (compressor, ratio) pair plus the dense baseline."""
+    """Run one benchmark for every (compressor, ratio) pair plus the dense baseline.
+
+    Knobs ride in the consolidated ``knobs`` bundle (default: the benchmark
+    config's settings); the flat knob kwargs are deprecated and fold into the
+    bundle once here, so every underlying :func:`run_benchmark` call shares
+    one resolved bundle and the deprecation warns once per comparison.
+    """
     config = benchmark if isinstance(benchmark, BenchmarkConfig) else get_benchmark(benchmark)
+    flat = {name: value for name, value in locals().items() if name in _LEGACY_FLAT_KNOBS}
+    resolved = _resolve_knobs(config, knobs, flat, "compare_compressors")
     baseline = run_benchmark(
         config, "none", 1.0, num_workers=num_workers, iterations=iterations, seed=seed,
-        network=network, device=device, bucket_bytes=bucket_bytes, overlap=overlap,
-        topology=topology, allreduce_algorithm=allreduce_algorithm,
-        allgather_algorithm=allgather_algorithm, pipeline_chunks=pipeline_chunks,
-        dedup_assumption=dedup_assumption, cross_bucket_pipeline=cross_bucket_pipeline,
-        scheduler_backend=scheduler_backend,
+        network=network, device=device, knobs=resolved,
     )
     baseline_quality = _quality_from_evaluation(config, baseline.final_evaluation)
     baseline_rate = baseline_quality / max(baseline.metrics.total_time, 1e-12)
@@ -262,11 +274,7 @@ def compare_compressors(
         for ratio in ratios:
             result = run_benchmark(
                 config, name, ratio, num_workers=num_workers, iterations=iterations, seed=seed,
-                network=network, device=device, bucket_bytes=bucket_bytes, overlap=overlap,
-                topology=topology, allreduce_algorithm=allreduce_algorithm,
-                allgather_algorithm=allgather_algorithm, pipeline_chunks=pipeline_chunks,
-                dedup_assumption=dedup_assumption, cross_bucket_pipeline=cross_bucket_pipeline,
-                scheduler_backend=scheduler_backend,
+                network=network, device=device, knobs=resolved,
             )
             quality = _quality_from_evaluation(config, result.final_evaluation)
             rate = quality / max(result.metrics.total_time, 1e-12)
@@ -304,6 +312,7 @@ def compare_compressors(
                     scheduler_backend=result.config.scheduler_backend
                     if result.config
                     else "loop",
+                    sync_policy=result.config.sync_policy if result.config else "full-sync",
                 )
             )
             comparison.runs[(name, ratio)] = result

@@ -49,6 +49,7 @@ TUNE_TARGETS: dict[str, str] = {
     "compression_seconds": "min",
     "speedup_vs_dense": "max",
     "overlap_saving": "max",
+    "straggler_overhead": "min",
 }
 
 #: Default coarse grid: the knobs that dominate iteration time, at the

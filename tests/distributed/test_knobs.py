@@ -1,0 +1,140 @@
+"""Tests for the consolidated SimulationKnobs bundle and its single-source contract.
+
+The API redesign's core promise: every surface that prices an iteration
+(``TrainerConfig``, ``BenchmarkConfig``, the sweep grid, ``run_benchmark``)
+reads its knob names, defaults and validation from ``SimulationKnobs`` — so a
+default can no longer drift between surfaces, and a new knob is automatically
+a trainer field, a benchmark field and a sweep axis.
+"""
+
+import warnings
+from dataclasses import fields
+
+import pytest
+
+from repro.distributed import (
+    KNOB_FIELDS,
+    SimulationKnobs,
+    TrainerConfig,
+    apply_flat_overrides,
+    knob_defaults,
+)
+from repro.harness import BenchmarkConfig
+from repro.harness.sweep import DEFAULT_KNOBS, SWEEP_KNOBS
+
+
+class TestSingleSourceOfTruth:
+    def test_knob_fields_order_matches_dataclass(self):
+        assert KNOB_FIELDS == tuple(f.name for f in fields(SimulationKnobs))
+
+    def test_sweep_knobs_derive_from_knob_fields(self):
+        assert SWEEP_KNOBS == ("compressor", "ratio", *KNOB_FIELDS)
+        assert set(DEFAULT_KNOBS) == set(SWEEP_KNOBS)
+
+    def test_trainer_config_defaults_pin_knob_defaults(self):
+        # Regression for knob-default drift: TrainerConfig's knob fields must
+        # default to exactly the SimulationKnobs values.
+        config = TrainerConfig(num_workers=2, compute_seconds=0.01)
+        for name, default in knob_defaults().items():
+            assert getattr(config, name) == default, name
+
+    def test_benchmark_config_defaults_pin_knob_defaults(self):
+        config = BenchmarkConfig(
+            name="x",
+            task="t",
+            quality_metric="accuracy",
+            full_dimension=1000,
+            per_worker_batch=8,
+            learning_rate=0.1,
+            epochs=1,
+            comm_overhead=0.5,
+            optimizer="sgd",
+        )
+        for name, default in knob_defaults().items():
+            assert getattr(config, name) == default, name
+
+    def test_benchmark_config_bundles_knobs(self):
+        config = BenchmarkConfig(
+            name="x",
+            task="t",
+            quality_metric="accuracy",
+            full_dimension=1000,
+            per_worker_batch=8,
+            learning_rate=0.1,
+            epochs=1,
+            comm_overhead=0.5,
+            optimizer="sgd",
+            overlap="comm",
+            sync_policy="time-window",
+            time_window_factor=2.0,
+        )
+        knobs = config.simulation_knobs()
+        assert knobs.overlap == "comm"
+        assert knobs.time_window_factor == 2.0
+        assert knobs.faulted
+
+    def test_trainer_config_snapshot_and_knobs_param(self):
+        bundle = SimulationKnobs(overlap="comm", scheduler_backend="vectorized")
+        via_knobs = TrainerConfig(num_workers=2, compute_seconds=0.01, knobs=bundle)
+        via_flat = TrainerConfig(
+            num_workers=2, compute_seconds=0.01, overlap="comm", scheduler_backend="vectorized"
+        )
+        assert via_knobs.overlap == via_flat.overlap == "comm"
+        assert via_knobs.knobs == via_flat.knobs
+
+
+class TestValidation:
+    def test_defaults_are_clean(self):
+        knobs = SimulationKnobs()
+        assert not knobs.faulted
+        assert knobs.as_dict() == knob_defaults()
+
+    def test_cross_knob_implications(self):
+        with pytest.raises(ValueError, match="backup_workers > 0 requires"):
+            SimulationKnobs(backup_workers=1)
+        with pytest.raises(ValueError, match="time_window_factor requires"):
+            SimulationKnobs(time_window_factor=1.5)
+        # The consistent combinations construct fine.
+        assert SimulationKnobs(sync_policy="backup-workers", backup_workers=2).faulted
+        assert SimulationKnobs(sync_policy="time-window", time_window_factor=1.5).faulted
+
+    def test_rate_knobs_must_be_finite_and_at_least_one(self):
+        for name in ("straggler_severity", "link_degradation"):
+            for bad in (0.5, 0.0, float("inf"), float("nan")):
+                with pytest.raises(ValueError, match=name):
+                    SimulationKnobs(**{name: bad})
+
+    def test_per_knob_validators_run(self):
+        with pytest.raises(ValueError, match="bucket_bytes"):
+            SimulationKnobs(bucket_bytes=0)
+        with pytest.raises(ValueError, match="overlap"):
+            SimulationKnobs(overlap="all-of-it")
+        with pytest.raises(ValueError, match="sync policy"):
+            SimulationKnobs(sync_policy="quorum")
+        with pytest.raises(ValueError):
+            SimulationKnobs(topology="no-such-fabric")
+
+    def test_replace_revalidates(self):
+        knobs = SimulationKnobs()
+        assert knobs.replace(overlap="comm").overlap == "comm"
+        with pytest.raises(ValueError):
+            knobs.replace(backup_workers=1)
+
+
+class TestDeprecationShim:
+    def test_none_values_mean_not_passed(self):
+        base = SimulationKnobs(overlap="comm")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # any warning would fail the test
+            out = apply_flat_overrides(base, {"overlap": None, "bucket_bytes": None}, "f")
+        assert out is base
+
+    def test_passed_knobs_warn_and_win(self):
+        base = SimulationKnobs()
+        with pytest.warns(DeprecationWarning, match="deprecated.*SimulationKnobs"):
+            out = apply_flat_overrides(base, {"overlap": "comm+compress"}, "run_benchmark")
+        assert out.overlap == "comm+compress"
+
+    def test_unknown_knob_rejected(self):
+        with pytest.raises(ValueError, match="unknown knobs"):
+            apply_flat_overrides(SimulationKnobs(), {"turbo": True}, "f")

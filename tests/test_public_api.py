@@ -20,6 +20,43 @@ class TestPublicAPI:
         for name in repro.__all__:
             assert hasattr(repro, name), name
 
+    def test_subpackage_exports_resolvable(self):
+        import repro.distributed
+        import repro.harness
+
+        for module in (repro.distributed, repro.harness):
+            for name in module.__all__:
+                assert hasattr(module, name), f"{module.__name__}.{name}"
+
+    def test_fault_and_knob_surfaces_exposed(self):
+        from repro.distributed import (
+            SYNC_POLICIES,
+            ClusterProfile,
+            SimulationKnobs,
+            StragglerInjector,
+            WorkerChurn,
+            get_sync_policy,
+            knob_defaults,
+        )
+        from repro.harness import (
+            SWEEP_KNOBS,
+            WorkerCountConstraint,
+            format_straggler_summary,
+        )
+
+        assert SYNC_POLICIES == ("full-sync", "backup-workers", "time-window")
+        # The sweep grid's tail is exactly the SimulationKnobs field order.
+        assert SWEEP_KNOBS[2:] == tuple(knob_defaults())
+        assert SimulationKnobs().faulted is False
+        assert ClusterProfile.homogeneous(4).homogeneous_nominal
+        assert get_sync_policy("full-sync").name == "full-sync"
+        assert WorkerCountConstraint().admits(
+            {"backup_workers": 0, "topology": "ethernet-4x8"}
+        )
+        assert callable(StragglerInjector(seed=0).apply)
+        assert callable(WorkerChurn(seed=0).apply)
+        assert format_straggler_summary([]).startswith("straggler overhead")
+
     def test_paper_lineup_exposed(self):
         assert "sidco-e" in PAPER_COMPRESSORS
         assert set(SIDCO_VARIANTS) <= set(available_compressors())
